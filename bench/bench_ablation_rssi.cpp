@@ -1,0 +1,71 @@
+// bench_ablation_rssi — ablation over the paper's RSSI error model
+// (eqs. 6, 11, 12): how ranging accuracy depends on the shadowing σ and the
+// path-loss exponent n, empirical vs analytic.
+//
+// The paper's pitch against the FST baseline is precisely that it "did not
+// consider how the signal strength will vary from distance aspect when
+// noise or real environment come in picture"; this bench quantifies that
+// environment sensitivity.
+#include <cmath>
+#include <iostream>
+
+#include "phy/pathloss.hpp"
+#include "phy/rssi.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace firefly;
+  using util::Table;
+
+  std::cout << "RSSI ranging ablation: relative error vs shadowing and exponent\n"
+            << "(eqs. 6, 11, 12; Monte-Carlo vs closed form)\n";
+
+  Table table("Ranging error |r_est/r_true - 1|: analytic vs simulated");
+  table.set_headers({"sigma (dB)", "exponent n", "mean ratio (analytic)",
+                     "mean ratio (sim)", "sd ratio (analytic)", "sd ratio (sim)",
+                     "p90 ratio (analytic)", "p90 ratio (sim)"});
+
+  util::Rng rng(2015);
+  for (const double sigma : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
+    for (const double n : {2.0, 4.0}) {  // indoor / outdoor per Section III
+      const phy::RangingErrorStats analytic = phy::analytic_ranging_error(sigma, n);
+      util::Sample ratios;
+      const int trials = 200000;
+      for (int i = 0; i < trials; ++i) {
+        ratios.add(phy::ranging_distortion(rng.normal(0.0, sigma), n));
+      }
+      table.add_row({Table::num(sigma, 0), Table::num(n, 0),
+                     Table::num(analytic.mean_ratio, 3), Table::num(ratios.mean(), 3),
+                     Table::num(analytic.stddev_ratio, 3), Table::num(ratios.stddev(), 3),
+                     Table::num(analytic.p90_ratio, 3),
+                     Table::num(ratios.percentile(90.0), 3)});
+    }
+  }
+  table.print(std::cout);
+  table.write_csv("ablation_rssi.csv");
+
+  // End-to-end: ranging through the dual-slope model across distances.
+  Table e2e("End-to-end ranging through the Table I dual-slope model (sigma = 10 dB)");
+  e2e.set_headers({"true d (m)", "mean est (m)", "median est (m)", "p90 est (m)"});
+  const auto model = phy::make_paper_model();
+  const phy::RssiRanging ranging(model.get(), util::Dbm{23.0});
+  for (const double d : {2.0, 5.0, 10.0, 30.0, 60.0, 89.0}) {
+    util::Sample estimates;
+    for (int i = 0; i < 50000; ++i) {
+      const util::Dbm rx =
+          util::Dbm{23.0} - model->loss(d) - util::Db{rng.normal(0.0, 10.0)};
+      estimates.add(ranging.estimate_distance(rx));
+    }
+    e2e.add_row({Table::num(d, 0), Table::num(estimates.mean(), 1),
+                 Table::num(estimates.median(), 1),
+                 Table::num(estimates.percentile(90.0), 1)});
+  }
+  e2e.print(std::cout);
+  std::cout << "\nTakeaways: error is median-unbiased but mean-biased upward;\n"
+               "outdoor (n = 4) ranging is materially more accurate than indoor\n"
+               "(n = 2) at equal shadowing — the 1/n scaling of eq. (12).\n"
+               "(CSV written to ablation_rssi.csv)\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// bench_common.hpp — shared helpers for the figure-reproduction benches.
+//
+// Each figure bench runs the protocol sweep the paper's Section V
+// describes — device counts from 50 to 1000 at the Table I density, several
+// Monte-Carlo seeds — and prints the series the figure plots.  Environment
+// variables trim the sweep for quick runs:
+//   FIREFLY_BENCH_TRIALS  (default 3)
+//   FIREFLY_BENCH_MAX_N   (default 1000)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace firefly::bench {
+
+inline std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const auto parsed = std::strtoull(value, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline core::SweepConfig paper_sweep() {
+  core::SweepConfig config;
+  config.trials = env_or("FIREFLY_BENCH_TRIALS", 3);
+  const std::size_t max_n = env_or("FIREFLY_BENCH_MAX_N", 1000);
+  config.ns.clear();
+  for (const std::size_t n : {50UL, 100UL, 200UL, 400UL, 600UL, 800UL, 1000UL}) {
+    if (n <= max_n) config.ns.push_back(n);
+  }
+  config.base.area_policy = core::AreaPolicy::kDensityScaled;
+  config.master_seed = 2015;  // the venue year; any fixed value works
+  return config;
+}
+
+/// Runs both protocols over the paper sweep.
+struct PaperSweepResult {
+  std::vector<core::SweepPoint> fst;
+  std::vector<core::SweepPoint> st;
+};
+
+inline PaperSweepResult run_paper_sweep() {
+  const core::SweepConfig config = paper_sweep();
+  PaperSweepResult result;
+  result.fst = core::sweep(core::Protocol::kFst, config);
+  result.st = core::sweep(core::Protocol::kSt, config);
+  return result;
+}
+
+}  // namespace firefly::bench

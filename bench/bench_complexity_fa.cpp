@@ -1,0 +1,95 @@
+// bench_complexity_fa — the paper's §V complexity claim.
+//
+// "The basic algorithm of firefly is having inherent O(n²) time complexity
+// ... Our distributed algorithm differs from this basic algorithm,
+// maintaining an ordered tree structure of fireflies ... searching in
+// firefly for more brightness than current firefly will take O(log n) time
+// complexity ... Hence asymptotic time complexity of proposed distributed
+// algorithms are O(n log n)."
+//
+// Two parts: google-benchmark wall-clock timings of one generation for each
+// strategy across population sizes, and an explicit comparison-count table
+// with fitted log-log slopes.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "fa/firefly.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace firefly;
+
+fa::FaConfig config_for(std::size_t n, fa::Strategy strategy) {
+  fa::FaConfig config;
+  config.population = n;
+  config.dimensions = 2;
+  config.generations = 1;
+  config.strategy = strategy;
+  return config;
+}
+
+void BM_ClassicGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    fa::FireflyOptimizer opt(config_for(n, fa::Strategy::kClassic), fa::sphere(),
+                             util::Rng(n));
+    benchmark::DoNotOptimize(opt.run());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_ClassicGeneration)->RangeMultiplier(2)->Range(64, 2048)->Complexity();
+
+void BM_RankOrderedGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    fa::FireflyOptimizer opt(config_for(n, fa::Strategy::kRankOrdered), fa::sphere(),
+                             util::Rng(n));
+    benchmark::DoNotOptimize(opt.run());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_RankOrderedGeneration)->RangeMultiplier(2)->Range(64, 8192)->Complexity();
+
+void print_comparison_table() {
+  using util::Table;
+  Table table("§V complexity claim — brightness comparisons per generation");
+  table.set_headers({"population", "classic O(n^2)", "rank-ordered O(n log n)", "ratio"});
+  std::vector<double> ns, classic, ordered;
+  for (std::size_t n = 64; n <= 4096; n *= 2) {
+    const auto c = fa::FireflyOptimizer(config_for(n, fa::Strategy::kClassic),
+                                        fa::sphere(), util::Rng(1))
+                       .run();
+    const auto o = fa::FireflyOptimizer(config_for(n, fa::Strategy::kRankOrdered),
+                                        fa::sphere(), util::Rng(1))
+                       .run();
+    ns.push_back(static_cast<double>(n));
+    classic.push_back(static_cast<double>(c.comparisons));
+    ordered.push_back(static_cast<double>(o.comparisons));
+    table.add_row({Table::num(n), Table::num(static_cast<std::size_t>(c.comparisons)),
+                   Table::num(static_cast<std::size_t>(o.comparisons)),
+                   Table::num(static_cast<double>(c.comparisons) /
+                                  static_cast<double>(o.comparisons),
+                              1)});
+  }
+  table.print(std::cout);
+  std::cout << "fitted log-log slope, classic:      "
+            << util::fit_loglog_slope(ns, classic) << " (paper claim: 2 = O(n^2))\n"
+            << "fitted log-log slope, rank-ordered: "
+            << util::fit_loglog_slope(ns, ordered)
+            << " (paper claim: ~1.1 = O(n log n))\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "Reproducing the paper's O(n^2) vs O(n log n) claim (Section V)\n";
+  print_comparison_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

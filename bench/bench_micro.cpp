@@ -1,0 +1,153 @@
+// bench_micro — engine-cost microbenchmarks: the event queue, union-find,
+// reference MSTs, PRC evaluation, oscillator updates and a radio slot flush.
+// These pin the constants behind the protocol-level numbers and catch
+// performance regressions in the substrates.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/boruvka.hpp"
+#include "graph/mst.hpp"
+#include "graph/union_find.hpp"
+#include "mac/radio.hpp"
+#include "pco/oscillator.hpp"
+#include "pco/prc.hpp"
+#include "phy/channel.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace firefly;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<std::int64_t> times(n);
+  for (auto& t : times) t = static_cast<std::int64_t>(rng.uniform_index(1'000'000));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (const auto t : times) q.schedule(sim::SimTime::microseconds(t), [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorPeriodicTimers(benchmark::State& state) {
+  const auto timers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fires = 0;
+    for (std::size_t i = 0; i < timers; ++i) {
+      sim.schedule_periodic(sim::SimTime::milliseconds(static_cast<std::int64_t>(i % 7)),
+                            sim::SimTime::milliseconds(5), [&fires] { ++fires; });
+    }
+    sim.run_until(sim::SimTime::milliseconds(200));
+    benchmark::DoNotOptimize(fires);
+  }
+}
+BENCHMARK(BM_SimulatorPeriodicTimers)->Arg(64)->Arg(512);
+
+void BM_UnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs(4 * n);
+  for (auto& p : pairs) {
+    p = {static_cast<std::uint32_t>(rng.uniform_index(n)),
+         static_cast<std::uint32_t>(rng.uniform_index(n))};
+  }
+  for (auto _ : state) {
+    graph::UnionFind uf(n);
+    for (const auto& [a, b] : pairs) {
+      if (a != b) benchmark::DoNotOptimize(uf.unite(a, b));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * pairs.size()));
+}
+BENCHMARK(BM_UnionFind)->Arg(1024)->Arg(65536);
+
+graph::Graph random_graph(std::size_t n, std::size_t extra_per_node) {
+  util::Rng rng(3);
+  graph::Graph g(n);
+  for (std::uint32_t v = 1; v < n; ++v) g.add_edge(v - 1, v, rng.uniform());
+  for (std::size_t i = 0; i < n * extra_per_node; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform_index(n));
+    const auto v = static_cast<std::uint32_t>(rng.uniform_index(n));
+    if (u != v) g.add_edge(u, v, rng.uniform());
+  }
+  return g;
+}
+
+void BM_Kruskal(benchmark::State& state) {
+  const graph::Graph g = random_graph(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::kruskal(g));
+}
+BENCHMARK(BM_Kruskal)->Arg(256)->Arg(4096);
+
+void BM_Prim(benchmark::State& state) {
+  const graph::Graph g = random_graph(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::prim(g));
+}
+BENCHMARK(BM_Prim)->Arg(256)->Arg(4096);
+
+void BM_Boruvka(benchmark::State& state) {
+  const graph::Graph g = random_graph(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::boruvka(g));
+}
+BENCHMARK(BM_Boruvka)->Arg(256)->Arg(4096);
+
+void BM_PrcEvaluation(benchmark::State& state) {
+  const pco::PrcParams prc{3.0, 0.05};
+  double theta = 0.1;
+  for (auto _ : state) {
+    theta = pco::apply_prc(theta, prc);
+    if (theta >= 1.0) theta = 0.013;
+    benchmark::DoNotOptimize(theta);
+  }
+}
+BENCHMARK(BM_PrcEvaluation);
+
+void BM_SlotOscillatorCycle(benchmark::State& state) {
+  pco::SlotOscillator osc(100, pco::PrcParams{3.0, 0.05});
+  for (auto _ : state) {
+    if (osc.tick()) osc.on_fired();
+    benchmark::DoNotOptimize(osc.counter());
+  }
+}
+BENCHMARK(BM_SlotOscillatorCycle);
+
+void BM_RadioSlotFlush(benchmark::State& state) {
+  // One slot with `txs` simultaneous broadcasts into a 200-device network:
+  // the protocol hot path.
+  const auto txs = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  auto channel = phy::make_paper_channel(4);
+  mac::RadioMedium radio(&sim, channel.get());
+  util::Rng rng(5);
+  const std::size_t n = 200;
+  for (std::uint32_t id = 0; id < n; ++id) {
+    radio.add_device(id, {rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)},
+                     [](const mac::Reception&) {});
+  }
+  radio.build_candidate_cache();
+  std::uint64_t slot = 1;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < txs; ++i) {
+      radio.broadcast(static_cast<std::uint32_t>(i % n),
+                      {mac::RachCodec::kRach1,
+                       static_cast<std::uint32_t>(rng.uniform_index(64))},
+                      mac::PsType::kSyncPulse, 0);
+    }
+    sim.run_until(sim::SimTime::milliseconds(static_cast<std::int64_t>(slot)));
+    ++slot;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * txs));
+}
+BENCHMARK(BM_RadioSlotFlush)->Arg(1)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// stadium_offload.cpp — dense-crowd traffic offload, the introduction's
+// motivating scenario.
+//
+// A stadium section: hundreds of devices packed into hotspots (clustered
+// deployment), all wanting the same replay clip.  With D2D, devices that
+// already have the content serve nearby devices directly, and only cluster
+// "seeds" pull from the base station.  This example runs the ST protocol to
+// discover + synchronise the crowd, then computes how much base-station
+// traffic the discovered proximity graph could absorb: every device that
+// found at least one content-holding neighbour within D2D range is offloaded.
+//
+//   ./build/examples/stadium_offload [n] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/st.hpp"
+#include "geo/deployment.hpp"
+#include "phy/link.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace firefly;
+  using util::Table;
+
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  std::cout << "Stadium offload demo: " << n
+            << " devices in 6 seating-block hotspots (100 m x 100 m), seed " << seed
+            << "\n";
+
+  // Clustered crowd instead of uniform placement.
+  util::RngFactory factory(seed);
+  util::Rng deploy_rng = factory.make("stadium.deploy");
+  auto positions = geo::deploy_clustered(n, 6, 6.0, geo::kPaperArea, deploy_rng);
+
+  core::ScenarioConfig config;  // Table I radio, default protocol knobs
+  config.n = n;
+  config.seed = seed;
+  core::StEngine engine(positions, config.protocol, config.radio, seed);
+  const core::RunMetrics metrics = engine.run();
+
+  std::cout << "\nconverged: " << (metrics.converged ? "yes" : "NO") << " at "
+            << metrics.convergence_ms << " ms, " << metrics.total_messages()
+            << " control messages, " << metrics.final_fragments << " fragment(s)\n";
+
+  // 10% of devices already cached the clip (they watched it live).
+  util::Rng content_rng = factory.make("stadium.content");
+  std::vector<bool> has_content(n, false);
+  for (std::size_t i = 0; i < n; ++i) has_content[i] = content_rng.bernoulli(0.10);
+
+  std::size_t seeds = 0, offloaded = 0, cellular = 0;
+  util::RunningStats donors;
+  util::RunningStats d2d_rate;  // ergodic Mbit/s on the best donor link
+  for (const auto& device : engine.devices()) {
+    if (has_content[device.id]) {
+      ++seeds;
+      continue;
+    }
+    std::size_t candidate_donors = 0;
+    double best_weight = -1e300;
+    for (const auto& [id, info] : device.neighbors) {
+      if (!has_content[id]) continue;
+      ++candidate_donors;
+      best_weight = std::max(best_weight, info.weight_dbm);
+    }
+    donors.add(static_cast<double>(candidate_donors));
+    if (candidate_donors > 0) {
+      ++offloaded;
+      d2d_rate.add(phy::rayleigh_ergodic_rate_mbps(util::Dbm{best_weight},
+                                                   config.radio.noise_floor,
+                                                   phy::kSidelinkBandwidthHz));
+    } else {
+      ++cellular;
+    }
+  }
+
+  Table table("Offload outcome (clip = 40 MB, one per device)");
+  table.set_headers({"path", "devices", "traffic (GB)"});
+  const double clip_gb = 40.0 / 1024.0;
+  table.add_row({"already cached (seeds)", Table::num(seeds), "0.00"});
+  table.add_row({"served via D2D", Table::num(offloaded), Table::num(0.0, 2)});
+  table.add_row({"must use cellular", Table::num(cellular),
+                 Table::num(static_cast<double>(cellular) * clip_gb, 2)});
+  table.add_row({"cellular WITHOUT D2D", Table::num(n - seeds),
+                 Table::num(static_cast<double>(n - seeds) * clip_gb, 2)});
+  table.print(std::cout);
+
+  const double saved = 1.0 - static_cast<double>(cellular) /
+                                 std::max<double>(1.0, static_cast<double>(n - seeds));
+  std::cout << "\nBase-station traffic avoided: " << Table::num(saved * 100.0, 1)
+            << "% (avg " << Table::num(donors.mean(), 1)
+            << " content-holding neighbours discovered per device)\n"
+            << "Best-donor D2D link quality (10 MHz sidelink, Rayleigh ergodic): "
+            << Table::num(d2d_rate.mean(), 1) << " Mbit/s avg, worst "
+            << Table::num(d2d_rate.min(), 1) << " Mbit/s -> the 40 MB clip moves in "
+            << Table::num(40.0 * 8.0 / std::max(1.0, d2d_rate.mean()), 1) << " s on average.\n"
+            << "Slot-synchronised D2D links make the direct transfers schedulable: "
+            << "firing spread stabilised within "
+            << config.protocol.tolerance_slots << " slot(s).\n";
+  return metrics.converged ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+#include "core/birthday.hpp"
+
+namespace firefly::core {
+
+void BirthdayEngine::on_start() {
+  // Every device beacons once per period from a random initial phase — the
+  // same average transmission rate as the firefly protocols' sync pulses,
+  // with zero coordination.  No coupling ever happens, so beacon times stay
+  // i.i.d. uniform across the population (the birthday-protocol regime).
+}
+
+void BirthdayEngine::emit_fire_broadcast(Device& device) {
+  radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach1),
+                   mac::PsType::kDiscovery,
+                   pack(Fields{device.fragment, device.service, 0, 0}));
+}
+
+void BirthdayEngine::on_reception(Device& /*device*/, const mac::Reception& /*reception*/) {
+  // Pure birthday protocol: receive, record (the base already updated the
+  // neighbour table), never react.
+}
+
+}  // namespace firefly::core

@@ -1,0 +1,32 @@
+// birthday.hpp — the sync-free discovery baseline (paper refs [4]–[7]).
+//
+// Before firefly-style schemes, D2D/ad-hoc discovery used "birthday
+// protocols": every device beacons in independently random slots at a
+// fixed rate, with no synchronisation at all.  Discovery completes by the
+// birthday/coupon-collector argument; there is no firing alignment, so the
+// global-sync component of the convergence criterion can never be met.
+//
+// This engine contextualises Figs. 3/4: it bounds what discovery costs
+// *without* any synchronisation machinery, and shows what the firefly
+// schemes buy (slot alignment) and what they pay for it.  Metrics report
+// discovery_ms as the interesting number; `converged` is discovery-only
+// for this engine (it has no sync goal by design).
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace firefly::core {
+
+class BirthdayEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  void on_start() override;
+  void on_reception(Device& device, const mac::Reception& reception) override;
+  void emit_fire_broadcast(Device& device) override;
+  /// Discovery-only protocol: no synchronisation goal by design.
+  [[nodiscard]] bool requires_sync() const override { return false; }
+};
+
+}  // namespace firefly::core

@@ -1,0 +1,16 @@
+#include "core/device.hpp"
+
+#include <algorithm>
+
+namespace firefly::core {
+
+bool Device::has_tree_neighbor(std::uint32_t other) const {
+  return std::find(tree_neighbors.begin(), tree_neighbors.end(), other) !=
+         tree_neighbors.end();
+}
+
+void Device::add_tree_neighbor(std::uint32_t other) {
+  if (!has_tree_neighbor(other)) tree_neighbors.push_back(other);
+}
+
+}  // namespace firefly::core

@@ -1,0 +1,74 @@
+// device.hpp — per-UE protocol state.
+//
+// A `Device` is passive data; the protocol engines (fst.cpp / st.cpp) drive
+// all transitions so the state machine logic is in one readable place per
+// protocol.  The oscillator is event-driven: instead of ticking a counter
+// every slot, the device stores the absolute slot of its next natural
+// firing, derives the counter on demand, and the engine reschedules the
+// firing event whenever a PRC jump moves it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "geo/point.hpp"
+#include "sim/event_queue.hpp"
+
+namespace firefly::core {
+
+/// What a device knows about a neighbour, learnt entirely from PSs.
+struct NeighborInfo {
+  double weight_dbm{-200.0};        ///< EWMA of received PS power (the edge weight)
+  double est_distance_m{0.0};       ///< RSSI ranging estimate from the EWMA
+  std::uint16_t fragment{kInvalidId};
+  std::uint16_t service{0};
+  std::int64_t last_heard_slot{-1};
+  std::uint32_t heard_count{0};
+};
+
+struct Device {
+  std::uint32_t id{0};
+  geo::Vec2 position{};
+  std::uint16_t service{0};
+
+  // --- oscillator (event-driven counter formulation) ---
+  std::int64_t next_fire_slot{0};
+  sim::EventId fire_event{0};
+  std::int64_t last_fire_slot{-1};
+  std::int64_t refractory_until_slot{-1};
+
+  // --- discovery ---
+  std::unordered_map<std::uint32_t, NeighborInfo> neighbors;
+
+  // --- ST fragment state ---
+  std::uint16_t fragment{kInvalidId};   ///< fragment label (head id at creation)
+  std::uint16_t fragment_size{1};
+  bool is_head{false};
+  std::vector<std::uint32_t> tree_neighbors;
+  std::unordered_set<std::uint32_t> announces_seen;  ///< merge_key dedup
+  std::unordered_set<std::uint32_t> sync_floods_seen;  ///< (fragment, cycle) dedup
+  std::size_t head_rotation{0};         ///< Change_head round-robin cursor
+  std::uint32_t pending_target{kInvalidId};
+  std::int64_t connect_sent_slot{-1};
+  std::int64_t last_fragment_activity_slot{0};  ///< stall detection for headless fragments
+
+  /// Oscillator counter at `slot` given the scheduled natural firing.
+  [[nodiscard]] std::uint32_t counter_at(std::int64_t slot, std::uint32_t period) const {
+    const std::int64_t remaining = next_fire_slot - slot;
+    if (remaining <= 0) return period;
+    if (remaining >= static_cast<std::int64_t>(period)) return 0;
+    return period - static_cast<std::uint32_t>(remaining);
+  }
+
+  [[nodiscard]] bool refractory_at(std::int64_t slot) const {
+    return slot <= refractory_until_slot;
+  }
+
+  [[nodiscard]] bool has_tree_neighbor(std::uint32_t other) const;
+  void add_tree_neighbor(std::uint32_t other);
+};
+
+}  // namespace firefly::core

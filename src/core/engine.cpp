@@ -1,0 +1,321 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "pco/prc.hpp"
+#include "util/stats.hpp"
+
+namespace firefly::core {
+
+EngineBase::EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
+                       phy::RadioParams radio_params, std::uint64_t seed)
+    : channel_(phy::make_paper_channel(seed, radio_params)),
+      radio_(&sim_, channel_.get(), radio_params.capture_margin_db),
+      params_(params),
+      detector_(positions.size(), params.period_slots, params.tolerance_slots),
+      local_detector_(positions.size(), params.period_slots, params.tolerance_slots),
+      rng_factory_(seed),
+      control_rng_(rng_factory_.make("core.control")),
+      ranging_(&channel_->pathloss(), radio_params.tx_power),
+      energy_(positions.size()),
+      mobility_rng_(rng_factory_.make("core.mobility")) {
+  radio_.set_energy_meter(&energy_);
+  devices_.reserve(positions.size());
+  for (std::uint32_t id = 0; id < positions.size(); ++id) {
+    Device d;
+    d.id = id;
+    d.position = positions[id];
+    d.service = static_cast<std::uint16_t>(control_rng_.uniform_index(params_.service_count));
+    d.fragment = static_cast<std::uint16_t>(id);
+    devices_.push_back(std::move(d));
+  }
+  for (Device& d : devices_) {
+    mac::RadioMedium::ListenFn listening = nullptr;
+    if (params_.duty_cycled()) {
+      // Per-device offset spreads the wake windows across the population.
+      const auto offset = static_cast<std::int64_t>(
+          util::derive_seed(rng_factory_.master_seed(), "core.duty", d.id) %
+          params_.duty_period_slots);
+      listening = [this, offset] {
+        const std::int64_t slot = current_slot();
+        return (slot + offset) % params_.duty_period_slots < params_.duty_awake_slots;
+      };
+    }
+    radio_.add_device(
+        d.id, d.position,
+        [this, &d](const mac::Reception& r) {
+          update_neighbor(d, r);
+          on_reception(d, r);
+        },
+        std::move(listening));
+  }
+  radio_.build_candidate_cache();
+
+  // Links the protocols owe discovery and alignment on: proximity edges
+  // whose slot-averaged power clears the threshold with a margin (links
+  // right at the threshold decode too rarely to owe either).
+  const util::Dbm reliable =
+      radio_params.detection_threshold + util::Db{radio_params.reliable_link_margin_db};
+  for (std::uint32_t u = 0; u < devices_.size(); ++u) {
+    for (std::uint32_t v = u + 1; v < devices_.size(); ++v) {
+      const util::Dbm forward = channel_->mean_received_power(
+          u, devices_[u].position, v, devices_[v].position);
+      const util::Dbm backward = channel_->mean_received_power(
+          v, devices_[v].position, u, devices_[u].position);
+      if (std::max(forward, backward) >= reliable) {
+        local_detector_.add_edge(u, v);
+        reliable_links_.emplace_back(u, v);
+      }
+    }
+  }
+}
+
+std::int64_t EngineBase::current_slot() const {
+  return mac::RadioMedium::slot_index(sim_.now());
+}
+
+void EngineBase::schedule_fire(Device& device) {
+  if (device.fire_event != 0) sim_.cancel(device.fire_event);
+  const sim::SimTime at = sim::SimTime{device.next_fire_slot * sim::kLteSlot.us};
+  device.fire_event = sim_.schedule_at(std::max(at, sim_.now()), [this, &device] {
+    device.fire_event = 0;
+    fire(device);
+  });
+}
+
+void EngineBase::fire(Device& device, std::uint32_t post_counter) {
+  const std::int64_t slot = current_slot();
+  device.last_fire_slot = slot;
+  device.refractory_until_slot = slot + params_.refractory_slots;
+  // A reachback-aligned absorption restarts the counter at the absorber's
+  // clock offset so the next cycle fires simultaneously with it.
+  device.next_fire_slot =
+      slot + params_.period_slots - static_cast<std::int64_t>(post_counter);
+  emit_fire_broadcast(device);
+  detector_.record_fire(device.id, slot);
+  local_detector_.record_fire(device.id, slot);
+  trace(TraceKind::kFire, device.id, post_counter);
+  schedule_fire(device);
+}
+
+std::uint32_t EngineBase::elapsed_slots(const mac::Reception& reception) const {
+  const std::int64_t sent_slot = reception.slot_start.us / sim::kLteSlot.us;
+  const std::int64_t elapsed = current_slot() - sent_slot;
+  return elapsed > 0 ? static_cast<std::uint32_t>(elapsed) : 0;
+}
+
+std::uint16_t EngineBase::counter_field(const Device& device) const {
+  return static_cast<std::uint16_t>(
+      device.counter_at(current_slot(), params_.period_slots) % params_.period_slots);
+}
+
+void EngineBase::apply_pulse_coupling(Device& device, const mac::Reception& reception) {
+  const std::int64_t slot = current_slot();
+  if (device.refractory_at(slot)) return;
+  // Delay compensation: the pulse was transmitted `elapsed` slots ago, so
+  // the PRC applies to the phase the receiver had at transmission time.
+  const std::uint32_t elapsed = elapsed_slots(reception);
+  const std::uint32_t counter = device.counter_at(slot, params_.period_slots);
+  const std::uint32_t counter_then = counter > elapsed ? counter - elapsed : 0;
+  const double theta =
+      static_cast<double>(counter_then) / static_cast<double>(params_.period_slots);
+  const double jumped = pco::apply_prc(std::min(theta, 1.0), params_.prc);
+  const auto new_counter = std::max(
+      counter, static_cast<std::uint32_t>(
+                   std::ceil(jumped * static_cast<double>(params_.period_slots))) + elapsed);
+  if (new_counter >= params_.period_slots) {
+    // Absorption: fire in this very slot, and restart the counter aligned
+    // to the absorbing sender's clock (reachback compensation — without it
+    // a slotted radio accumulates one slot of skew per hop and global
+    // alignment is unreachable for any pulse-coupled scheme).
+    if (device.fire_event != 0) {
+      sim_.cancel(device.fire_event);
+      device.fire_event = 0;
+    }
+    const Fields f = unpack(reception.payload);
+    const std::uint32_t aligned = (f.c + elapsed) % params_.period_slots;
+    fire(device, aligned);
+    return;
+  }
+  device.next_fire_slot = slot + (params_.period_slots - new_counter);
+  schedule_fire(device);
+}
+
+void EngineBase::adopt_counter(Device& device, std::uint32_t counter) {
+  const std::int64_t slot = current_slot();
+  if (counter >= params_.period_slots) counter %= params_.period_slots;
+  device.next_fire_slot = slot + (params_.period_slots - counter);
+  trace(TraceKind::kAdopt, device.id, counter);
+  schedule_fire(device);
+}
+
+void EngineBase::update_neighbor(Device& device, const mac::Reception& reception) {
+  NeighborInfo& info = device.neighbors[reception.sender];
+  const double rx = reception.rx_power.value;
+  if (info.heard_count == 0) {
+    info.weight_dbm = rx;
+  } else {
+    info.weight_dbm += params_.weight_ewma * (rx - info.weight_dbm);
+  }
+  ++info.heard_count;
+  info.last_heard_slot = current_slot();
+  info.est_distance_m = ranging_.estimate_distance(util::Dbm{info.weight_dbm});
+  const Fields f = unpack(reception.payload);
+  // Sync pulses and discovery beacons carry (fragment, service); control
+  // messages carry other fields, so only refresh from beacons.
+  if (reception.type == mac::PsType::kSyncPulse || reception.type == mac::PsType::kDiscovery) {
+    info.fragment = f.a;
+    info.service = f.b;
+  }
+}
+
+mac::Preamble EngineBase::random_preamble(mac::RachCodec codec) {
+  return mac::Preamble{
+      codec, static_cast<std::uint32_t>(control_rng_.uniform_index(mac::kPreamblePoolSize))};
+}
+
+bool EngineBase::discovery_complete() const {
+  for (const auto& [u, v] : reliable_links_) {
+    if (!devices_[u].neighbors.contains(v)) return false;
+    if (!devices_[v].neighbors.contains(u)) return false;
+  }
+  return true;
+}
+
+void EngineBase::start_mobility() {
+  // Deployment area inferred as the bounding box of the initial positions
+  // (the engines take raw positions, not a scenario).
+  double max_x = 1.0, max_y = 1.0;
+  for (const Device& d : devices_) {
+    max_x = std::max(max_x, d.position.x);
+    max_y = std::max(max_y, d.position.y);
+  }
+  mobility_area_ = geo::Area{max_x, max_y};
+  movers_.reserve(devices_.size());
+  for (const Device& d : devices_) {
+    movers_.emplace_back(d.position, mobility_area_, params_.mobility_speed_mps,
+                         params_.mobility_pause_s, &mobility_rng_);
+  }
+  sim_.schedule_periodic(sim::SimTime::milliseconds(params_.mobility_update_slots),
+                         sim::SimTime::milliseconds(params_.mobility_update_slots),
+                         [this] { mobility_step(); });
+}
+
+void EngineBase::mobility_step() {
+  const double dt_s = static_cast<double>(params_.mobility_update_slots) * 1e-3;
+  for (Device& d : devices_) {
+    d.position = movers_[d.id].advance(dt_s);
+    radio_.move_device(d.id, d.position);
+  }
+  // Large-scale state changed: link shadowing decorrelates and the
+  // delivery candidate cache must be rebuilt.
+  channel_->shadowing().invalidate();
+  radio_.build_candidate_cache();
+}
+
+void EngineBase::check_convergence() {
+  const std::int64_t slot = current_slot();
+  if (local_converged_slot_ < 0) {
+    const auto local = local_detector_.converged_at(slot);
+    if (local.has_value()) local_converged_slot_ = *local;
+  }
+  if (discovery_slot_ < 0 && discovery_complete()) {
+    discovery_slot_ = slot;
+    trace(TraceKind::kDiscovery, 0, static_cast<std::uint32_t>(slot));
+  }
+  if (protocol_slot_ < 0 && protocol_complete()) protocol_slot_ = slot;
+  if (sync_slot_ < 0) {
+    const auto converged = detector_.converged_at(slot);
+    if (converged.has_value()) {
+      sync_slot_ = *converged;
+      trace(TraceKind::kSync, 0, static_cast<std::uint32_t>(*converged));
+    }
+  }
+  const bool sync_ok = !requires_sync() || sync_slot_ >= 0;
+  if (params_.stop_on_convergence && sync_ok && discovery_slot_ >= 0 &&
+      protocol_slot_ >= 0) {
+    sim_.stop();
+  }
+}
+
+RunMetrics EngineBase::run() {
+  // Random initial phases (paper: devices start unsynchronised).
+  for (Device& d : devices_) {
+    d.next_fire_slot = static_cast<std::int64_t>(
+        control_rng_.uniform_index(params_.period_slots)) + 1;
+    schedule_fire(d);
+  }
+  [[maybe_unused]] const auto checker = sim_.schedule_periodic(
+      sim::SimTime::milliseconds(params_.check_interval_slots),
+      sim::SimTime::milliseconds(params_.check_interval_slots),
+      [this] { check_convergence(); });
+  if (params_.mobility_speed_mps > 0.0) start_mobility();
+  on_start();
+
+  const sim::SimTime deadline = sim::SimTime::milliseconds(params_.max_slots());
+  sim_.run_until(deadline);
+
+  RunMetrics metrics;
+  const bool sync_ok = !requires_sync() || sync_slot_ >= 0;
+  metrics.converged = sync_ok && discovery_slot_ >= 0 && protocol_slot_ >= 0;
+  metrics.convergence_ms =
+      metrics.converged
+          ? static_cast<double>(std::max(
+                std::max(requires_sync() ? sync_slot_ : 0, discovery_slot_), protocol_slot_))
+          : static_cast<double>(params_.max_slots());
+  metrics.sync_ms = sync_slot_ >= 0 ? static_cast<double>(sync_slot_)
+                                    : static_cast<double>(params_.max_slots());
+  metrics.discovery_ms = discovery_slot_ >= 0 ? static_cast<double>(discovery_slot_)
+                                              : static_cast<double>(params_.max_slots());
+  metrics.locally_converged = local_converged_slot_ >= 0;
+  metrics.local_sync_ms = metrics.locally_converged
+                              ? static_cast<double>(local_converged_slot_)
+                              : static_cast<double>(params_.max_slots());
+  finalize_metrics(metrics);
+  fill_protocol_metrics(metrics);
+  return metrics;
+}
+
+void EngineBase::finalize_metrics(RunMetrics& metrics) const {
+  const mac::TrafficCounters& traffic = radio_.counters();
+  metrics.rach1_messages = traffic.rach1_tx;
+  metrics.rach2_messages = traffic.rach2_tx;
+  metrics.collisions = traffic.collisions;
+  metrics.deliveries = traffic.deliveries;
+  metrics.events_processed = sim_.events_processed();
+  metrics.simulated_ms = sim_.now().as_milliseconds();
+
+  util::RunningStats neighbors;
+  util::RunningStats service_peers;
+  util::Sample rel_errors;
+  for (const Device& d : devices_) {
+    neighbors.add(static_cast<double>(d.neighbors.size()));
+    std::size_t peers = 0;
+    for (const auto& [other_id, info] : d.neighbors) {
+      if (info.service == d.service) ++peers;
+      const double true_dist =
+          geo::distance(d.position, devices_[other_id].position);
+      if (true_dist > 0.0) {
+        rel_errors.add(std::fabs(info.est_distance_m / true_dist - 1.0));
+      }
+    }
+    service_peers.add(static_cast<double>(peers));
+  }
+  metrics.mean_neighbors_discovered = neighbors.mean();
+  metrics.mean_service_peers = service_peers.mean();
+  metrics.ranging_mean_abs_rel_error = rel_errors.mean();
+  metrics.ranging_p90_rel_error = rel_errors.count() > 0 ? rel_errors.percentile(90.0) : 0.0;
+
+  const std::int64_t elapsed_slots = mac::RadioMedium::slot_index(sim_.now());
+  const double awake = params_.awake_fraction();
+  metrics.total_energy_mj = energy_.total_energy_mj(elapsed_slots, awake);
+  metrics.mean_device_energy_mj = energy_.mean_energy_mj(elapsed_slots, awake);
+  metrics.energy_per_neighbor_mj =
+      metrics.mean_neighbors_discovered > 0.0
+          ? metrics.mean_device_energy_mj / metrics.mean_neighbors_discovered
+          : 0.0;
+}
+
+}  // namespace firefly::core

@@ -1,0 +1,135 @@
+// engine.hpp — common plumbing for the two protocol engines.
+//
+// `EngineBase` owns the whole simulated world of one trial: the event
+// scheduler, the Table I channel, the radio medium, the device array and
+// the convergence detector.  Subclasses implement `on_start` (what runs at
+// t = 0) and `on_reception` (the protocol state machine); the base supplies
+// the event-driven oscillator (schedule/reschedule/fire), neighbour-table
+// maintenance with RSSI ranging, periodic convergence checks and the final
+// metrics sweep.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+#include "core/trace.hpp"
+#include "geo/mobility.hpp"
+#include "geo/point.hpp"
+#include "mac/radio.hpp"
+#include "pco/sync_metrics.hpp"
+#include "phy/channel.hpp"
+#include "phy/energy.hpp"
+#include "phy/rssi.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace firefly::core {
+
+class EngineBase {
+ public:
+  EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
+             phy::RadioParams radio_params, std::uint64_t seed);
+  virtual ~EngineBase() = default;
+
+  EngineBase(const EngineBase&) = delete;
+  EngineBase& operator=(const EngineBase&) = delete;
+
+  /// Run the trial to convergence or the max_periods cap; fills metrics.
+  RunMetrics run();
+
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  [[nodiscard]] const ProtocolParams& params() const { return params_; }
+
+  /// Attach an optional trace sink (not owned; may be null).
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+ protected:
+  /// Called once before the event loop starts.
+  virtual void on_start() = 0;
+  /// Protocol reaction to a decoded PS.
+  virtual void on_reception(Device& device, const mac::Reception& reception) = 0;
+  /// Broadcast emitted when `device` fires (protocols differ in payload).
+  virtual void emit_fire_broadcast(Device& device) = 0;
+  /// Hook for metrics specific to a protocol (tree stats etc.).
+  virtual void fill_protocol_metrics(RunMetrics& /*metrics*/) const {}
+  /// Protocol-specific termination condition folded into convergence.
+  /// The ST algorithm (paper Algorithm 1) runs `while |ST| != 1`, so its
+  /// convergence additionally requires the spanning structure to be
+  /// complete; the baseline has no such requirement.
+  [[nodiscard]] virtual bool protocol_complete() const { return true; }
+  /// Whether convergence includes the global firing-alignment goal.
+  /// Discovery-only baselines (birthday protocols) waive it by design.
+  [[nodiscard]] virtual bool requires_sync() const { return true; }
+
+  // --- oscillator driving (shared) ---
+  /// Current absolute slot.
+  [[nodiscard]] std::int64_t current_slot() const;
+  /// (Re)schedule the device's natural firing event at next_fire_slot.
+  void schedule_fire(Device& device);
+  /// Fire now: broadcast, reset the counter (to `post_counter` — nonzero
+  /// for reachback-aligned absorptions), refractory, inform the detector.
+  void fire(Device& device, std::uint32_t post_counter = 0);
+  /// Apply the PRC jump for one received pulse, compensating the slot(s) of
+  /// delivery delay using the counter embedded in the PS; reschedules or
+  /// fires on absorption.
+  void apply_pulse_coupling(Device& device, const mac::Reception& reception);
+  /// Slots elapsed since the reception's transmission slot.
+  [[nodiscard]] std::uint32_t elapsed_slots(const mac::Reception& reception) const;
+  /// The device's current counter, for embedding into outgoing PSs.
+  [[nodiscard]] std::uint16_t counter_field(const Device& device) const;
+  /// A fresh random preamble (LTE UEs draw RACH preambles uniformly from
+  /// the cell's pool on every attempt).
+  [[nodiscard]] mac::Preamble random_preamble(mac::RachCodec codec);
+  /// Record a trace event when a sink is attached.
+  void trace(TraceKind kind, std::uint32_t device, std::uint32_t a = 0,
+             std::uint32_t b = 0) {
+    if (trace_ != nullptr) trace_->record(sim_.now().as_milliseconds(), device, kind, a, b);
+  }
+  /// Adopt an absolute counter value (ST merge sync); reschedules or fires.
+  void adopt_counter(Device& device, std::uint32_t counter);
+
+  // --- discovery (shared) ---
+  /// Update the neighbour table from a decoded PS (any type).
+  void update_neighbor(Device& device, const mac::Reception& reception);
+
+  sim::Simulator sim_;
+  std::unique_ptr<phy::Channel> channel_;
+  mac::RadioMedium radio_;
+  ProtocolParams params_;
+  std::vector<Device> devices_;
+  pco::ConvergenceDetector detector_;       ///< Fig. 3 criterion: global alignment
+  pco::LocalSyncDetector local_detector_;   ///< diagnostic: per-link alignment
+  util::RngFactory rng_factory_;
+  util::Rng control_rng_;  ///< protocol-level randomness (initial phases, jitter)
+  phy::RssiRanging ranging_;
+  phy::EnergyMeter energy_;
+
+ private:
+  void check_convergence();
+  [[nodiscard]] bool discovery_complete() const;
+  void finalize_metrics(RunMetrics& metrics) const;
+  /// Mobility extension: advance every device along its random-waypoint
+  /// trajectory, move it on the radio, invalidate memoised shadowing and
+  /// rebuild the delivery cache.  Installed only when
+  /// params.mobility_speed_mps > 0.
+  void start_mobility();
+  void mobility_step();
+
+  // Convergence requires BOTH of the paper's simultaneous goals: sustained
+  // global firing alignment AND complete neighbour discovery over every
+  // reliable proximity link (both directions).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> reliable_links_;
+  std::int64_t sync_slot_ = -1;
+  std::int64_t discovery_slot_ = -1;
+  std::int64_t protocol_slot_ = -1;
+  std::int64_t local_converged_slot_ = -1;
+  geo::Area mobility_area_{};
+  util::Rng mobility_rng_;
+  std::vector<geo::RandomWaypoint> movers_;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace firefly::core

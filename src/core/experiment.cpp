@@ -1,0 +1,67 @@
+#include "core/experiment.hpp"
+
+#include <mutex>
+
+#include "util/rng.hpp"
+
+namespace firefly::core {
+
+namespace {
+
+ScenarioConfig trial_config(const SweepConfig& sweep_config, std::size_t n,
+                            std::size_t trial) {
+  ScenarioConfig config = sweep_config.base;
+  config.n = n;
+  config.seed = util::derive_seed(sweep_config.master_seed, "experiment.trial",
+                                  (static_cast<std::uint64_t>(n) << 20) | trial);
+  return config;
+}
+
+void accumulate(SweepPoint& point, const RunMetrics& metrics, std::mutex& mutex) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  ++point.trials;
+  if (!metrics.converged) {
+    point.failure_rate += 1.0;  // normalised after the loop
+  } else {
+    point.convergence_ms.add(metrics.convergence_ms);
+  }
+  point.total_messages.add(static_cast<double>(metrics.total_messages()));
+  point.rach1_messages.add(static_cast<double>(metrics.rach1_messages));
+  point.rach2_messages.add(static_cast<double>(metrics.rach2_messages));
+  point.collisions.add(static_cast<double>(metrics.collisions));
+  point.neighbors_discovered.add(metrics.mean_neighbors_discovered);
+  point.ranging_error.add(metrics.ranging_mean_abs_rel_error);
+}
+
+}  // namespace
+
+std::vector<SweepPoint> sweep(Protocol protocol, const SweepConfig& config,
+                              util::ThreadPool* pool) {
+  std::vector<SweepPoint> points(config.ns.size());
+  for (std::size_t i = 0; i < config.ns.size(); ++i) points[i].n = config.ns[i];
+
+  std::mutex mutex;
+  auto run_one = [&](std::size_t point_index, std::size_t trial) {
+    const ScenarioConfig trial_cfg = trial_config(config, points[point_index].n, trial);
+    const RunMetrics metrics = run_trial(protocol, trial_cfg);
+    accumulate(points[point_index], metrics, mutex);
+  };
+
+  if (pool != nullptr) {
+    const std::size_t total = config.ns.size() * config.trials;
+    pool->parallel_for(total, [&](std::size_t flat) {
+      run_one(flat / config.trials, flat % config.trials);
+    });
+  } else {
+    for (std::size_t i = 0; i < config.ns.size(); ++i) {
+      for (std::size_t t = 0; t < config.trials; ++t) run_one(i, t);
+    }
+  }
+
+  for (SweepPoint& point : points) {
+    if (point.trials > 0) point.failure_rate /= static_cast<double>(point.trials);
+  }
+  return points;
+}
+
+}  // namespace firefly::core

@@ -1,0 +1,44 @@
+// experiment.hpp — Monte-Carlo sweeps for the figure benches.
+//
+// A sweep runs `trials` independent seeds per (protocol, N) point, fanned
+// out over a thread pool (each trial owns its simulator; nothing is
+// shared), and aggregates the Fig. 3 / Fig. 4 series with 95% confidence
+// intervals.  Trials that hit the max_periods cap are reported through
+// `failure_rate` and excluded from the time statistics (the paper plots
+// converged runs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace firefly::core {
+
+struct SweepPoint {
+  std::size_t n{0};
+  std::size_t trials{0};
+  double failure_rate{0.0};
+  util::Sample convergence_ms;
+  util::Sample total_messages;
+  util::Sample rach1_messages;
+  util::Sample rach2_messages;
+  util::Sample collisions;
+  util::Sample neighbors_discovered;
+  util::Sample ranging_error;
+};
+
+struct SweepConfig {
+  ScenarioConfig base{};           ///< n and seed are overridden per point/trial
+  std::vector<std::size_t> ns{50, 100, 200, 400, 600, 800, 1000};
+  std::size_t trials{5};
+  std::uint64_t master_seed{2015};
+};
+
+/// One protocol across all N.  `pool` may be null (sequential).
+[[nodiscard]] std::vector<SweepPoint> sweep(Protocol protocol, const SweepConfig& config,
+                                            util::ThreadPool* pool = nullptr);
+
+}  // namespace firefly::core

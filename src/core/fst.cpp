@@ -1,0 +1,23 @@
+#include "core/fst.hpp"
+
+namespace firefly::core {
+
+void FstEngine::on_start() {
+  // Nothing beyond the base: oscillators free-run from random phases and
+  // the first firings start the mutual coupling.
+}
+
+void FstEngine::emit_fire_broadcast(Device& device) {
+  radio_.broadcast(device.id,
+                   random_preamble(mac::RachCodec::kRach1),
+                   mac::PsType::kSyncPulse,
+                   pack(Fields{device.fragment, device.service, counter_field(device), 0}));
+}
+
+void FstEngine::on_reception(Device& device, const mac::Reception& reception) {
+  if (reception.type != mac::PsType::kSyncPulse) return;
+  // Full-mesh coupling: any audible pulse adjusts the phase.
+  apply_pulse_coupling(device, reception);
+}
+
+}  // namespace firefly::core

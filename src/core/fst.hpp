@@ -1,0 +1,28 @@
+// fst.hpp — the FST baseline (Chao, Lee, Chou & Wei 2013, the paper's [17]).
+//
+// Bio-inspired proximity discovery and synchronisation with *full-mesh*
+// coupling: every device broadcasts a proximity signal (RACH1) when its
+// oscillator fires, and every device that decodes a PS above the −95 dBm
+// threshold applies the Mirollo–Strogatz phase jump, whoever the sender is.
+// Discovery piggybacks on the same pulses (sender id, fragment label unused,
+// service id).  This reproduces the cost profile the paper attributes to
+// the existing method: at scale, every firing excites the whole
+// neighbourhood, preamble collisions mount as the population aligns, and
+// synchronisation must propagate hop by hop through raw PCO dynamics.
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace firefly::core {
+
+class FstEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  void on_start() override;
+  void on_reception(Device& device, const mac::Reception& reception) override;
+  void emit_fire_broadcast(Device& device) override;
+};
+
+}  // namespace firefly::core

@@ -1,0 +1,56 @@
+// metrics.hpp — what a single protocol run reports.
+//
+// `RunMetrics` carries everything Figs. 3 and 4 plot plus the discovery-
+// quality numbers the paper discusses qualitatively: convergence time,
+// per-codec message counts taken from the radio's meter, collision counts,
+// and RSSI-ranging accuracy measured against ground-truth positions.
+#pragma once
+
+#include <cstdint>
+
+namespace firefly::core {
+
+struct RunMetrics {
+  // --- Fig. 3 ---
+  // Convergence is the paper's twin goal achieved simultaneously: sustained
+  // global firing alignment AND complete neighbour discovery on every
+  // reliable proximity link.  convergence_ms = max(sync_ms, discovery_ms).
+  bool converged{false};
+  double convergence_ms{0.0};
+  double sync_ms{0.0};            ///< first sustained global firing alignment
+  double discovery_ms{0.0};       ///< all reliable links discovered both ways
+  bool locally_converged{false};
+  double local_sync_ms{0.0};      ///< per-link alignment (diagnostic; <= sync_ms)
+
+  // --- Fig. 4 (measured at the radio medium) ---
+  std::uint64_t rach1_messages{0};
+  std::uint64_t rach2_messages{0};
+  std::uint64_t collisions{0};
+  std::uint64_t deliveries{0};
+  [[nodiscard]] std::uint64_t total_messages() const {
+    return rach1_messages + rach2_messages;
+  }
+
+  // --- discovery quality ---
+  double mean_neighbors_discovered{0.0};
+  double mean_service_peers{0.0};
+  double ranging_mean_abs_rel_error{0.0};  ///< mean |r_est/r_true - 1|
+  double ranging_p90_rel_error{0.0};
+
+  // --- topology (ST only; zero for FST) ---
+  std::uint32_t final_fragments{0};
+  std::uint32_t tree_edges{0};
+  double tree_weight_dbm{0.0};    ///< sum of tree edge weights (PS strength)
+  double tree_service_affinity{0.0};  ///< fraction of tree edges joining same-service UEs
+
+  // --- energy (refs [4]-[9] motivation: discovery power cost) ---
+  double total_energy_mj{0.0};        ///< all devices, to the stop instant
+  double mean_device_energy_mj{0.0};
+  double energy_per_neighbor_mj{0.0}; ///< mean energy / mean neighbours found
+
+  // --- engine accounting ---
+  std::uint64_t events_processed{0};
+  double simulated_ms{0.0};
+};
+
+}  // namespace firefly::core

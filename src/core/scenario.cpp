@@ -1,0 +1,63 @@
+#include "core/scenario.hpp"
+
+#include "core/birthday.hpp"
+#include "core/fst.hpp"
+#include "core/st.hpp"
+#include "util/rng.hpp"
+
+namespace firefly::core {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kFst: return "FST";
+    case Protocol::kSt: return "ST";
+    case Protocol::kBirthday: return "Birthday";
+  }
+  return "?";
+}
+
+geo::Area ScenarioConfig::area() const {
+  if (area_policy == AreaPolicy::kFixed) return geo::kPaperArea;
+  return geo::scaled_area_for(n);
+}
+
+std::vector<geo::Vec2> deploy(const ScenarioConfig& config) {
+  util::RngFactory factory(config.seed);
+  util::Rng rng = factory.make("scenario.deploy");
+  return geo::deploy_uniform(config.n, config.area(), rng);
+}
+
+graph::Graph proximity_graph(const std::vector<geo::Vec2>& positions, phy::Channel& channel) {
+  graph::Graph g(positions.size());
+  for (std::uint32_t u = 0; u < positions.size(); ++u) {
+    for (std::uint32_t v = u + 1; v < positions.size(); ++v) {
+      const util::Dbm forward =
+          channel.mean_received_power(u, positions[u], v, positions[v]);
+      const util::Dbm backward =
+          channel.mean_received_power(v, positions[v], u, positions[u]);
+      const util::Dbm strongest = std::max(forward, backward);
+      if (channel.detectable(strongest)) g.add_edge(u, v, strongest.value);
+    }
+  }
+  return g;
+}
+
+RunMetrics run_trial(Protocol protocol, const ScenarioConfig& config) {
+  std::vector<geo::Vec2> positions = deploy(config);
+  switch (protocol) {
+    case Protocol::kFst: {
+      FstEngine engine(std::move(positions), config.protocol, config.radio, config.seed);
+      return engine.run();
+    }
+    case Protocol::kBirthday: {
+      BirthdayEngine engine(std::move(positions), config.protocol, config.radio,
+                            config.seed);
+      return engine.run();
+    }
+    case Protocol::kSt: break;
+  }
+  StEngine engine(std::move(positions), config.protocol, config.radio, config.seed);
+  return engine.run();
+}
+
+}  // namespace firefly::core

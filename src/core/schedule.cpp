@@ -1,0 +1,105 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "phy/link.hpp"
+
+namespace firefly::core {
+
+double TdmaSchedule::aggregate_throughput_mbps() const {
+  if (frame_slots == 0) return 0.0;
+  double sum = 0.0;
+  for (const ScheduledLink& link : links) sum += link.rate_mbps;
+  return sum / static_cast<double>(frame_slots);
+}
+
+TdmaSchedule build_tdma_schedule(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& links,
+    const std::vector<geo::Vec2>& positions, phy::Channel& channel,
+    double interference_margin_db) {
+  TdmaSchedule schedule;
+  const std::size_t m = links.size();
+  schedule.links.reserve(m);
+  const util::Dbm noise = channel.params().noise_floor;
+  for (const auto& [tx, rx] : links) {
+    assert(tx < positions.size() && rx < positions.size() && tx != rx);
+    const util::Dbm mean =
+        channel.mean_received_power(tx, positions[tx], rx, positions[rx]);
+    schedule.links.push_back(ScheduledLink{
+        tx, rx, 0, mean.value,
+        phy::rayleigh_ergodic_rate_mbps(mean, noise, phy::kSidelinkBandwidthHz)});
+  }
+  if (m == 0) {
+    schedule.valid_ = true;
+    return schedule;
+  }
+
+  // Conflict graph: shared endpoints or transmitter-to-foreign-receiver
+  // power above (threshold − margin).
+  const util::Dbm interference_cutoff =
+      channel.params().detection_threshold - util::Db{interference_margin_db};
+  schedule.conflicts_.assign(m, {});
+  auto interferes = [&](std::uint32_t tx, std::uint32_t rx) {
+    return channel.mean_received_power(tx, positions[tx], rx, positions[rx]) >=
+           interference_cutoff;
+  };
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = i + 1; j < m; ++j) {
+      const auto& a = schedule.links[i];
+      const auto& b = schedule.links[j];
+      const bool endpoint_conflict =
+          a.tx == b.tx || a.tx == b.rx || a.rx == b.tx || a.rx == b.rx;
+      const bool physical_conflict =
+          endpoint_conflict || interferes(a.tx, b.rx) || interferes(b.tx, a.rx);
+      if (physical_conflict) {
+        schedule.conflicts_[i].push_back(j);
+        schedule.conflicts_[j].push_back(i);
+        ++schedule.conflict_edges;
+      }
+    }
+  }
+  for (const auto& adj : schedule.conflicts_) {
+    schedule.max_conflict_degree =
+        std::max(schedule.max_conflict_degree, static_cast<std::uint32_t>(adj.size()));
+  }
+
+  // Welsh–Powell: colour in order of decreasing conflict degree.
+  std::vector<std::uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0U);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (schedule.conflicts_[a].size() != schedule.conflicts_[b].size()) {
+      return schedule.conflicts_[a].size() > schedule.conflicts_[b].size();
+    }
+    return a < b;
+  });
+  constexpr std::uint32_t kUncolored = ~0U;
+  std::vector<std::uint32_t> color(m, kUncolored);
+  std::vector<char> used;
+  for (const std::uint32_t v : order) {
+    used.assign(m + 1, 0);
+    for (const std::uint32_t nb : schedule.conflicts_[v]) {
+      if (color[nb] != kUncolored) used[color[nb]] = 1;
+    }
+    std::uint32_t c = 0;
+    while (used[c]) ++c;
+    color[v] = c;
+    schedule.frame_slots = std::max(schedule.frame_slots, c + 1);
+  }
+  for (std::uint32_t i = 0; i < m; ++i) schedule.links[i].slot = color[i];
+
+  // Validate: no same-slot conflicts.
+  schedule.valid_ = true;
+  for (std::uint32_t i = 0; i < m && schedule.valid_; ++i) {
+    for (const std::uint32_t j : schedule.conflicts_[i]) {
+      if (color[i] == color[j]) {
+        schedule.valid_ = false;
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace firefly::core

@@ -1,0 +1,365 @@
+#include "core/st.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace firefly::core {
+
+
+void StEngine::on_start() {
+  const std::int64_t base = 1;
+  for (Device& d : devices_) {
+    d.is_head = true;  // every device heads its own singleton fragment
+    d.fragment = static_cast<std::uint16_t>(d.id);
+    d.fragment_size = 1;
+    // Discovery beacons at random slots inside the window.
+    for (std::uint32_t b = 0; b < params_.discovery_beacons; ++b) {
+      const std::int64_t slot =
+          base + static_cast<std::int64_t>(control_rng_.uniform_index(params_.discovery_slots));
+      sim_.schedule_at(sim::SimTime::milliseconds(slot), [this, &d] {
+        radio_.broadcast(d.id, random_preamble(mac::RachCodec::kRach1),
+                         mac::PsType::kDiscovery,
+                         pack(Fields{d.fragment, d.service, 0, 0}));
+      });
+    }
+    // Head round timer, staggered by id so RACH2 attempts de-collide.
+    const std::int64_t first_round = base + params_.discovery_slots +
+                                     static_cast<std::int64_t>(d.id % params_.round_slots);
+    sim_.schedule_periodic(sim::SimTime::milliseconds(first_round),
+                           sim::SimTime::milliseconds(params_.round_slots),
+                           [this, &d] { round_action(d); });
+    // Keep-alive sync flood: once per firing period each head floods its
+    // phase down the fragment tree (the paper's RACH2 "keep-alive" codec;
+    // Algorithm 1 re-runs F_F_A over RACH2 after every H_Connect round).
+    const std::int64_t first_flood = base + params_.discovery_slots +
+                                     static_cast<std::int64_t>(d.id % params_.period_slots);
+    sim_.schedule_periodic(sim::SimTime::milliseconds(first_flood),
+                           sim::SimTime::milliseconds(params_.period_slots), [this, &d] {
+                             if (d.is_head) emit_sync_flood(d);
+                           });
+    // Keep-alive discovery: one beacon per period at a *random* slot.  This
+    // is ST's structural answer to the baseline's pathology — FST beacons
+    // only when it fires, so once synchronised every beacon lands in the
+    // same slot and collides; ST keeps discovery traffic spread out.
+    sim_.schedule_periodic(
+        sim::SimTime::milliseconds(base + static_cast<std::int64_t>(d.id % params_.period_slots)),
+        sim::SimTime::milliseconds(params_.period_slots), [this, &d] {
+          const auto offset = static_cast<std::int64_t>(
+              control_rng_.uniform_index(params_.period_slots - 1));
+          sim_.schedule_in(sim::SimTime::milliseconds(offset), [this, &d] {
+            radio_.broadcast(d.id, random_preamble(mac::RachCodec::kRach1),
+                             mac::PsType::kDiscovery,
+                             pack(Fields{d.fragment, d.service, 0, 0}));
+          });
+        });
+  }
+}
+
+void StEngine::emit_sync_flood(Device& device) {
+  const auto cycle = static_cast<std::uint16_t>(
+      (current_slot() / params_.period_slots) & 0xFFFF);
+  device.sync_floods_seen.insert(merge_key(device.fragment, cycle));
+  radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach2),
+                   mac::PsType::kSyncFlood,
+                   pack(Fields{device.fragment, cycle, counter_field(device), 0}));
+}
+
+void StEngine::emit_fire_broadcast(Device& device) {
+  radio_.broadcast(device.id,
+                   random_preamble(mac::RachCodec::kRach1),
+                   mac::PsType::kSyncPulse,
+                   pack(Fields{device.fragment, device.service, counter_field(device), 0}));
+}
+
+bool StEngine::left_wins(std::uint16_t left_frag, std::uint16_t left_size,
+                         std::uint16_t right_frag, std::uint16_t right_size) {
+  // Algorithm 1 line 12: head comes from the tree with the most nodes;
+  // deterministic label tie-break keeps both endpoints consistent.
+  if (left_size != right_size) return left_size > right_size;
+  return left_frag < right_frag;
+}
+
+void StEngine::prune_stale_tree_edges(Device& device) {
+  // Mobility repair: a tree neighbour silent for tree_stale_periods has
+  // moved out of range — drop the coupling edge.  A device whose whole
+  // tree neighbourhood vanished restarts as its own singleton fragment and
+  // rejoins through the normal H_Connect machinery.
+  const std::int64_t slot = current_slot();
+  const std::int64_t stale =
+      static_cast<std::int64_t>(params_.tree_stale_periods) * params_.period_slots;
+  std::erase_if(device.tree_neighbors, [&](std::uint32_t other) {
+    const auto it = device.neighbors.find(other);
+    return it == device.neighbors.end() || slot - it->second.last_heard_slot > stale;
+  });
+  if (device.tree_neighbors.empty() &&
+      device.fragment != static_cast<std::uint16_t>(device.id)) {
+    device.fragment = static_cast<std::uint16_t>(device.id);
+    device.fragment_size = 1;
+    device.is_head = true;
+    device.pending_target = kInvalidId;
+    device.last_fragment_activity_slot = slot;
+  }
+}
+
+void StEngine::round_action(Device& device) {
+  const std::int64_t slot = current_slot();
+  prune_stale_tree_edges(device);
+  if (!device.is_head) {
+    // Stall rule: a fragment whose head token was lost would otherwise
+    // freeze.  After long RACH2 silence, a member that can still see an
+    // outgoing edge self-promotes with low probability (duplicate heads are
+    // harmless; a headless fragment with work left is not).
+    const std::int64_t stall = 6 * static_cast<std::int64_t>(params_.round_slots);
+    if (slot - device.last_fragment_activity_slot > stall && has_outgoing(device) &&
+        control_rng_.bernoulli(0.25)) {
+      device.is_head = true;
+    } else {
+      return;
+    }
+  }
+  // An in-flight connect gets connect_timeout_slots to complete.
+  if (device.pending_target != kInvalidId) {
+    if (slot - device.connect_sent_slot <
+        static_cast<std::int64_t>(params_.connect_timeout_slots)) {
+      return;
+    }
+    device.pending_target = kInvalidId;
+  }
+  attempt_connect(device);
+}
+
+const std::uint32_t* StEngine::best_outgoing(const Device& device) const {
+  // Heaviest outgoing edge: strongest fresh neighbour in another fragment.
+  // Entries not refreshed for three firing periods carry stale fragment
+  // labels and are skipped.
+  const std::int64_t slot = current_slot();
+  const std::int64_t freshness = 3 * static_cast<std::int64_t>(params_.period_slots);
+  const std::uint32_t* best = nullptr;
+  double best_weight = -1e300;
+  for (const auto& [other_id, info] : device.neighbors) {
+    if (info.fragment == device.fragment) continue;
+    if (info.last_heard_slot >= 0 && slot - info.last_heard_slot > freshness) continue;
+    double weight = info.weight_dbm;
+    if (info.service == device.service) weight += params_.service_bias_db;
+    if (weight > best_weight) {
+      best_weight = weight;
+      best = &other_id;
+    }
+  }
+  return best;
+}
+
+bool StEngine::has_outgoing(const Device& device) const {
+  return best_outgoing(device) != nullptr;
+}
+
+void StEngine::attempt_connect(Device& device) {
+  const std::int64_t slot = current_slot();
+  const std::uint32_t* best = best_outgoing(device);
+  if (best == nullptr) {
+    change_head(device);
+    return;
+  }
+  device.pending_target = *best;
+  device.connect_sent_slot = slot;
+  device.last_fragment_activity_slot = slot;
+  const auto counter = static_cast<std::uint16_t>(
+      device.counter_at(slot, params_.period_slots));
+  radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach2),
+                   mac::PsType::kConnectRequest,
+                   pack(Fields{static_cast<std::uint16_t>(*best), device.fragment,
+                               device.fragment_size, counter}));
+}
+
+void StEngine::change_head(Device& device) {
+  // Algorithm 1 line 10: no outgoing edge at this head — rotate headship
+  // through the tree neighbours.  A singleton with an empty table just
+  // stays head and waits for discovery to populate it, and a fragment that
+  // has seen no merge activity for a while is complete: its head goes
+  // quiet instead of circulating tokens forever (it resumes automatically
+  // if discovery later surfaces a new outgoing edge).
+  if (device.tree_neighbors.empty()) return;
+  const std::int64_t quiet = 8 * static_cast<std::int64_t>(params_.round_slots);
+  if (current_slot() - device.last_fragment_activity_slot > quiet) return;
+  const std::uint32_t target =
+      device.tree_neighbors[device.head_rotation % device.tree_neighbors.size()];
+  ++device.head_rotation;
+  device.is_head = false;
+  device.last_fragment_activity_slot = current_slot();
+  radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach2),
+                   mac::PsType::kHeadToken,
+                   pack(Fields{static_cast<std::uint16_t>(target), device.fragment, 0, 0}));
+}
+
+void StEngine::local_merge(Device& device, std::uint16_t peer_frag, std::uint16_t peer_size,
+                           std::uint32_t peer_device, std::uint32_t adopted_counter) {
+  const auto new_size = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(0xFFFF, device.fragment_size + peer_size));
+  const bool we_win = left_wins(device.fragment, device.fragment_size, peer_frag, peer_size);
+  const std::uint16_t winner = we_win ? device.fragment : peer_frag;
+  const std::uint16_t loser = we_win ? peer_frag : device.fragment;
+
+  device.add_tree_neighbor(peer_device);
+  device.last_fragment_activity_slot = current_slot();
+  device.announces_seen.insert(merge_key(winner, loser));
+  trace(TraceKind::kMerge, device.id, winner, loser);
+
+  if (!we_win) {
+    // Losing side: adopt the winner's label and phase (Algorithm 1's
+    // inter-subtree synchronisation over RACH2).
+    device.fragment = winner;
+    device.is_head = false;
+    device.pending_target = kInvalidId;
+    adopt_counter(device, adopted_counter % params_.period_slots);
+  }
+  device.fragment_size = new_size;
+  emit_announce(device, winner, loser, new_size);
+}
+
+void StEngine::emit_announce(Device& device, std::uint16_t winner, std::uint16_t loser,
+                             std::uint16_t new_size) {
+  const auto counter = static_cast<std::uint16_t>(
+      device.counter_at(current_slot(), params_.period_slots));
+  radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach2),
+                   mac::PsType::kMergeAnnounce,
+                   pack(Fields{winner, loser, counter, new_size}));
+}
+
+void StEngine::handle_announce(Device& device, const mac::Reception& reception) {
+  const Fields f = unpack(reception.payload);
+  const std::uint32_t key = merge_key(f.a, f.b);
+  if (device.announces_seen.contains(key)) return;
+  device.announces_seen.insert(key);
+
+  if (device.fragment == f.b) {
+    // My fragment lost this merge: adopt label, size and phase, and relay
+    // once so the flood crosses the whole (former) fragment.
+    device.fragment = f.a;
+    device.fragment_size = f.d;
+    device.is_head = false;
+    device.pending_target = kInvalidId;
+    device.last_fragment_activity_slot = current_slot();
+    adopt_counter(device, (f.c + elapsed_slots(reception)) % params_.period_slots);
+    emit_announce(device, f.a, f.b, f.d);
+  } else if (device.fragment == f.a) {
+    // My fragment won: refresh the size estimate.
+    device.fragment_size = std::max(device.fragment_size, f.d);
+    device.last_fragment_activity_slot = current_slot();
+  }
+}
+
+void StEngine::on_reception(Device& device, const mac::Reception& reception) {
+  const Fields f = unpack(reception.payload);
+  switch (reception.type) {
+    case mac::PsType::kDiscovery:
+      break;  // neighbour table already updated by the base
+
+    case mac::PsType::kSyncPulse:
+      // Tree-restricted coupling: only pulses from tree neighbours adjust
+      // the oscillator (the whole point of the spanning-tree topology).
+      if (device.has_tree_neighbor(reception.sender)) {
+        apply_pulse_coupling(device, reception);
+      }
+      break;
+
+    case mac::PsType::kConnectRequest: {
+      if (f.a != device.id) break;          // addressed to someone else
+      if (f.b == device.fragment) break;    // stale: already same fragment
+      device.last_fragment_activity_slot = current_slot();
+      // Algorithm 2: answer over RACH2, then both endpoints merge.
+      const auto my_counter = static_cast<std::uint16_t>(
+          device.counter_at(current_slot(), params_.period_slots));
+      radio_.broadcast(device.id,
+                       random_preamble(mac::RachCodec::kRach2),
+                       mac::PsType::kConnectAccept,
+                       pack(Fields{static_cast<std::uint16_t>(reception.sender),
+                                   device.fragment, device.fragment_size, my_counter}));
+      const std::uint32_t adopted = (f.d + elapsed_slots(reception)) % params_.period_slots;
+      local_merge(device, f.b, f.c, reception.sender, adopted);
+      break;
+    }
+
+    case mac::PsType::kConnectAccept: {
+      if (f.a != device.id) break;
+      if (f.b == device.fragment) break;  // duplicate / already merged
+      device.pending_target = kInvalidId;
+      device.last_fragment_activity_slot = current_slot();
+      const std::uint32_t adopted = (f.d + elapsed_slots(reception)) % params_.period_slots;
+      local_merge(device, f.b, f.c, reception.sender, adopted);
+      break;
+    }
+
+    case mac::PsType::kMergeAnnounce:
+      handle_announce(device, reception);
+      break;
+
+    case mac::PsType::kHeadToken:
+      if (f.a == device.id && f.b == device.fragment) {
+        device.is_head = true;
+        device.last_fragment_activity_slot = current_slot();
+        trace(TraceKind::kHeadChange, device.id, device.fragment);
+      }
+      break;
+
+    case mac::PsType::kSyncFlood: {
+      if (f.a != device.fragment) break;  // another fragment's keep-alive
+      const std::uint32_t key = merge_key(f.a, f.b);
+      if (device.sync_floods_seen.contains(key)) break;
+      device.sync_floods_seen.insert(key);
+      // Adopt the head's phase exactly (delay-compensated) and relay once
+      // with a re-stamped counter so the flood covers the whole tree.
+      adopt_counter(device, (f.c + elapsed_slots(reception)) % params_.period_slots);
+      radio_.broadcast(device.id,
+                       random_preamble(mac::RachCodec::kRach2),
+                       mac::PsType::kSyncFlood,
+                       pack(Fields{f.a, f.b, counter_field(device), 0}));
+      break;
+    }
+  }
+}
+
+bool StEngine::protocol_complete() const {
+  const std::uint16_t label = devices_.empty() ? 0 : devices_.front().fragment;
+  for (const Device& d : devices_) {
+    if (d.fragment != label) return false;
+  }
+  return true;
+}
+
+void StEngine::fill_protocol_metrics(RunMetrics& metrics) const {
+  // Distinct fragment labels remaining.
+  std::vector<std::uint16_t> labels;
+  labels.reserve(devices_.size());
+  for (const Device& d : devices_) labels.push_back(d.fragment);
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  metrics.final_fragments = static_cast<std::uint32_t>(labels.size());
+
+  // Tree edges: unordered pairs listed by at least one endpoint; weight is
+  // the strongest recorded direction (PS strength, the paper's edge weight).
+  std::uint32_t edges = 0;
+  std::uint32_t same_service_edges = 0;
+  double weight_sum = 0.0;
+  for (const Device& d : devices_) {
+    for (const std::uint32_t other : d.tree_neighbors) {
+      if (other < d.id && devices_[other].has_tree_neighbor(d.id)) continue;  // counted once
+      ++edges;
+      if (devices_[other].service == d.service) ++same_service_edges;
+      double w = -200.0;
+      const auto it = d.neighbors.find(other);
+      if (it != d.neighbors.end()) w = it->second.weight_dbm;
+      const auto& other_dev = devices_[other];
+      const auto it2 = other_dev.neighbors.find(d.id);
+      if (it2 != other_dev.neighbors.end()) w = std::max(w, it2->second.weight_dbm);
+      weight_sum += w;
+    }
+  }
+  metrics.tree_edges = edges;
+  metrics.tree_weight_dbm = weight_sum;
+  metrics.tree_service_affinity =
+      edges > 0 ? static_cast<double>(same_service_edges) / edges : 0.0;
+}
+
+}  // namespace firefly::core

@@ -1,0 +1,74 @@
+// st.hpp — the proposed ST algorithm (paper Algorithms 1–3).
+//
+// GHS/Borůvka-style fragment growth over RSSI-weighted edges, with the
+// paper's two-codec split: RACH1 carries regular firefly operation (sync
+// pulses + discovery beacons), RACH2 carries fragment control (H_Connect
+// request/accept, merge announcements, Change_head tokens).
+//
+// Protocol sketch (all messages are radio broadcasts; "addressed" means
+// the payload names a target and others ignore it):
+//   1. Discovery window: every device beacons a few times at random slots,
+//      so neighbour tables hold PS-strength weights before merging starts.
+//   2. Every device starts as the head of its own singleton fragment.
+//      Heads act on a periodic round timer (staggered by device id):
+//        - H_Connect (Algorithm 2): pick the *heaviest* outgoing edge
+//          (strongest-PS neighbour in another fragment) and send a
+//          ConnectRequest; the peer answers ConnectAccept.  Both ends then
+//          agree deterministically on the merge winner — the larger
+//          fragment, ties to the smaller label (Algorithm 1 line 12) — and
+//          the losing side adopts the winner's label AND oscillator phase.
+//        - Change_head (Algorithm 1 line 10): a head with no outgoing edge
+//          passes headship to a tree neighbour round-robin.
+//   3. Merge announcements flood through the losing fragment (each member
+//      relays once), re-stamping the relayer's now-synchronised counter so
+//      every member adopts the winner's phase (this is the
+//      "F_F_A(..., RACH2)" inter-subtree synchronisation of Algorithm 1).
+//   4. Sync pulses (RACH1) couple only along tree edges, polishing residual
+//      offset; convergence is detected exactly as for FST.
+//
+// Robustness against message loss (collisions): connect retries after a
+// timeout, announce dedup by (winner, loser), and a stall rule that lets a
+// fragment self-promote a new head when no RACH2 activity touches it for
+// several rounds (covers lost head tokens).
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace firefly::core {
+
+class StEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  void on_start() override;
+  void on_reception(Device& device, const mac::Reception& reception) override;
+  void emit_fire_broadcast(Device& device) override;
+  void fill_protocol_metrics(RunMetrics& metrics) const override;
+  /// Algorithm 1 terminates when one fragment spans the network.
+  [[nodiscard]] bool protocol_complete() const override;
+
+ private:
+  void round_action(Device& device);
+  /// Strongest fresh neighbour outside the device's fragment, or nullptr.
+  [[nodiscard]] const std::uint32_t* best_outgoing(const Device& device) const;
+  [[nodiscard]] bool has_outgoing(const Device& device) const;
+  void attempt_connect(Device& device);
+  void change_head(Device& device);
+  /// Deterministic winner rule shared by both H_Connect endpoints.
+  [[nodiscard]] static bool left_wins(std::uint16_t left_frag, std::uint16_t left_size,
+                                      std::uint16_t right_frag, std::uint16_t right_size);
+  void local_merge(Device& device, std::uint16_t peer_frag, std::uint16_t peer_size,
+                   std::uint32_t peer_device, std::uint32_t adopted_counter);
+  void emit_announce(Device& device, std::uint16_t winner, std::uint16_t loser,
+                     std::uint16_t new_size);
+  void handle_announce(Device& device, const mac::Reception& reception);
+  /// Keep-alive phase flood from a head (once per firing period).
+  void emit_sync_flood(Device& device);
+  /// Mobility repair: drop silent tree edges; restart orphaned devices as
+  /// singleton fragments.
+  void prune_stale_tree_edges(Device& device);
+
+};
+
+}  // namespace firefly::core

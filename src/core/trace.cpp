@@ -1,0 +1,36 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace firefly::core {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kFire: return "fire";
+    case TraceKind::kMerge: return "merge";
+    case TraceKind::kHeadChange: return "head-change";
+    case TraceKind::kAdopt: return "adopt";
+    case TraceKind::kSync: return "sync";
+    case TraceKind::kDiscovery: return "discovery";
+  }
+  return "?";
+}
+
+std::size_t TraceSink::count(TraceKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+void TraceSink::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return;
+  f << "time_ms,device,kind,a,b\n";
+  for (const TraceEvent& e : events_) {
+    f << e.time_ms << ',' << e.device << ',' << to_string(e.kind) << ',' << e.a << ','
+      << e.b << '\n';
+  }
+}
+
+}  // namespace firefly::core

@@ -1,0 +1,53 @@
+// trace.hpp — optional structured run tracing.
+//
+// When a `TraceSink` is attached to an engine, protocol milestones are
+// recorded as (time, device, kind, a, b) rows and can be dumped to CSV for
+// visualisation or debugging: every firing, every fragment merge, head
+// changes, phase adoptions and the convergence instants.  Tracing is off by
+// default and costs nothing when detached (a null check per event).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace firefly::core {
+
+enum class TraceKind : std::uint8_t {
+  kFire = 0,        ///< device fired (a = counter after reset)
+  kMerge = 1,       ///< fragments merged (a = winner, b = loser)
+  kHeadChange = 2,  ///< headship moved (a = new head device)
+  kAdopt = 3,       ///< device adopted a phase (a = counter)
+  kSync = 4,        ///< global sync achieved (device = 0, a = slot)
+  kDiscovery = 5,   ///< discovery completed (device = 0, a = slot)
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  double time_ms{0.0};
+  std::uint32_t device{0};
+  TraceKind kind{TraceKind::kFire};
+  std::uint32_t a{0};
+  std::uint32_t b{0};
+};
+
+class TraceSink {
+ public:
+  void record(double time_ms, std::uint32_t device, TraceKind kind, std::uint32_t a = 0,
+              std::uint32_t b = 0) {
+    events_.push_back(TraceEvent{time_ms, device, kind, a, b});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t count(TraceKind kind) const;
+  void clear() { events_.clear(); }
+
+  /// Write "time_ms,device,kind,a,b" rows.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace firefly::core

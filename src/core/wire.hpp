@@ -1,0 +1,50 @@
+// wire.hpp — payload packing for proximity signals.
+//
+// A PS payload is a single uint64; the protocols pack four 16-bit fields
+// into it.  Field meaning depends on the PsType:
+//
+//   kSyncPulse / kDiscovery : a = sender's fragment id, b = service id
+//   kConnectRequest         : a = target device, b = sender fragment,
+//                             c = sender fragment size
+//   kConnectAccept          : a = target device, b = sender fragment,
+//                             c = sender fragment size, d = sender counter
+//   kMergeAnnounce          : a = winner fragment, b = loser fragment,
+//                             c = relayer counter, d = winner fragment size
+//   kHeadToken              : a = target device, b = fragment id
+//
+// Device ids, fragment ids (head device ids at creation time), sizes and
+// slot counters all fit in 16 bits for the scales the paper evaluates
+// (N <= 1000, period 100 slots).
+#pragma once
+
+#include <cstdint>
+
+namespace firefly::core {
+
+inline constexpr std::uint16_t kInvalidId = 0xFFFF;
+
+struct Fields {
+  std::uint16_t a{0};
+  std::uint16_t b{0};
+  std::uint16_t c{0};
+  std::uint16_t d{0};
+};
+
+[[nodiscard]] constexpr std::uint64_t pack(Fields f) {
+  return static_cast<std::uint64_t>(f.a) | (static_cast<std::uint64_t>(f.b) << 16) |
+         (static_cast<std::uint64_t>(f.c) << 32) | (static_cast<std::uint64_t>(f.d) << 48);
+}
+
+[[nodiscard]] constexpr Fields unpack(std::uint64_t payload) {
+  return Fields{static_cast<std::uint16_t>(payload & 0xFFFF),
+                static_cast<std::uint16_t>((payload >> 16) & 0xFFFF),
+                static_cast<std::uint16_t>((payload >> 32) & 0xFFFF),
+                static_cast<std::uint16_t>((payload >> 48) & 0xFFFF)};
+}
+
+/// Merge-announce dedup key.
+[[nodiscard]] constexpr std::uint32_t merge_key(std::uint16_t winner, std::uint16_t loser) {
+  return (static_cast<std::uint32_t>(winner) << 16) | loser;
+}
+
+}  // namespace firefly::core

@@ -1,0 +1,129 @@
+#include "fa/firefly.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace firefly::fa {
+
+FireflyOptimizer::FireflyOptimizer(FaConfig config, Objective objective, util::Rng rng)
+    : config_(config), objective_(std::move(objective)), rng_(rng),
+      eta_current_(config.eta) {
+  assert(config_.population > 0 && config_.dimensions > 0);
+  assert(config_.upper_bound > config_.lower_bound);
+  positions_.resize(config_.population, std::vector<double>(config_.dimensions));
+  brightness_.resize(config_.population, 0.0);
+  for (auto& x : positions_) {
+    for (double& v : x) v = rng_.uniform(config_.lower_bound, config_.upper_bound);
+  }
+}
+
+void FireflyOptimizer::evaluate_all() {
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    brightness_[i] = objective_(positions_[i]);
+    ++result_.evaluations;
+  }
+}
+
+void FireflyOptimizer::clamp(std::vector<double>& x) const {
+  for (double& v : x) v = std::clamp(v, config_.lower_bound, config_.upper_bound);
+}
+
+void FireflyOptimizer::move_toward(std::size_t i, std::size_t j) {
+  // eq. (13) in all dimensions.
+  double r2 = 0.0;
+  for (std::size_t d = 0; d < config_.dimensions; ++d) {
+    const double diff = positions_[j][d] - positions_[i][d];
+    r2 += diff * diff;
+  }
+  const double attraction = config_.k * std::exp(-config_.gamma * r2);
+  for (std::size_t d = 0; d < config_.dimensions; ++d) {
+    positions_[i][d] += attraction * (positions_[j][d] - positions_[i][d]) +
+                        eta_current_ * rng_.normal();
+  }
+  clamp(positions_[i]);
+}
+
+void FireflyOptimizer::move_classic() {
+  // Textbook double loop: i moves once toward each brighter j.
+  const std::size_t n = positions_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      ++result_.comparisons;
+      if (brightness_[j] > brightness_[i]) move_toward(i, j);
+    }
+  }
+}
+
+void FireflyOptimizer::move_rank_ordered() {
+  // Sort indices by brightness descending (the "ordered tree"); each
+  // firefly binary-searches its own rank (O(log n) comparisons) and moves
+  // toward a log-sized window of the fireflies ranked just above it plus
+  // the global best.
+  const std::size_t n = positions_.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (brightness_[a] != brightness_[b]) return brightness_[a] > brightness_[b];
+    return a < b;
+  });
+  std::vector<std::size_t> rank_of(n);
+  for (std::size_t r = 0; r < n; ++r) rank_of[order[r]] = r;
+
+  std::size_t window = config_.window;
+  if (window == 0) {
+    window = 1;
+    while ((std::size_t{1} << window) < n) ++window;  // ~log2(n)
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Binary-search cost of locating one's rank in the ordered structure.
+    std::size_t lo = 0, hi = n;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      ++result_.comparisons;
+      if (brightness_[order[mid]] > brightness_[i] ||
+          (brightness_[order[mid]] == brightness_[i] && order[mid] < i)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const std::size_t my_rank = rank_of[i];
+    if (my_rank == 0) continue;  // the current best only explores
+    const std::size_t from = my_rank >= window ? my_rank - window : 0;
+    for (std::size_t r = from; r < my_rank; ++r) {
+      ++result_.comparisons;
+      move_toward(i, order[r]);
+    }
+    if (from > 0) {
+      ++result_.comparisons;
+      move_toward(i, order[0]);  // always feel the global best
+    }
+  }
+}
+
+FaResult FireflyOptimizer::run() {
+  evaluate_all();
+  result_.best_by_generation.reserve(config_.generations);
+  for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+    if (config_.strategy == Strategy::kClassic) {
+      move_classic();
+    } else {
+      move_rank_ordered();
+    }
+    evaluate_all();
+    eta_current_ *= config_.eta_decay;
+    const auto best_it = std::max_element(brightness_.begin(), brightness_.end());
+    result_.best_by_generation.push_back(*best_it);
+  }
+  const auto best_it = std::max_element(brightness_.begin(), brightness_.end());
+  const auto best_index = static_cast<std::size_t>(best_it - brightness_.begin());
+  result_.best_value = *best_it;
+  result_.best_position = positions_[best_index];
+  return result_;
+}
+
+}  // namespace firefly::fa

@@ -1,0 +1,53 @@
+// mobility.hpp — movement models.
+//
+// Two models:
+//   * `RandomWaypoint` — the classic ad-hoc mobility model, used by the
+//     extension examples to study discovery under movement;
+//   * `firefly_step` — the paper's eq. (13) location update,
+//         x_i <- x_i + k·exp(-γ·r_ij²)·(x_j - x_i) + η·μ,
+//     where device i is attracted toward a brighter device j with strength
+//     decaying in squared distance, plus a Gaussian exploration term η·μ.
+//     This is the positional half of Yang's firefly algorithm that
+//     Algorithm 3 of the paper runs per fragment.
+#pragma once
+
+#include "geo/point.hpp"
+#include "util/rng.hpp"
+
+namespace firefly::geo {
+
+/// Parameters of the paper's eq. (13).
+struct FireflyStepParams {
+  double k{1.0};      ///< step size toward the better (brighter) solution
+  double gamma{1.0};  ///< attraction coefficient γ
+  double eta{0.1};    ///< exploration step-size control η
+};
+
+/// One eq.-(13) update of `xi` attracted toward `xj`.  `rng` supplies the
+/// Gaussian vector μ.  The caller clamps to the deployment area if needed.
+[[nodiscard]] Vec2 firefly_step(Vec2 xi, Vec2 xj, const FireflyStepParams& params,
+                                util::Rng& rng);
+
+/// Random-waypoint mobility: pick a waypoint uniformly in the area, move
+/// toward it at `speed` (m/s), pause `pause_s` seconds, repeat.
+class RandomWaypoint {
+ public:
+  RandomWaypoint(Vec2 start, Area area, double speed_mps, double pause_s, util::Rng* rng);
+
+  /// Advance the model by dt seconds and return the new position.
+  Vec2 advance(double dt_s);
+  [[nodiscard]] Vec2 position() const { return position_; }
+
+ private:
+  void pick_waypoint();
+
+  Vec2 position_;
+  Vec2 waypoint_;
+  Area area_;
+  double speed_;
+  double pause_;
+  double pause_left_ = 0.0;
+  util::Rng* rng_;
+};
+
+}  // namespace firefly::geo

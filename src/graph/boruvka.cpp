@@ -1,0 +1,69 @@
+#include "graph/boruvka.hpp"
+
+#include <limits>
+
+#include "graph/union_find.hpp"
+
+namespace firefly::graph {
+
+BoruvkaResult boruvka(const Graph& g, Orientation orientation) {
+  BoruvkaResult result;
+  const std::size_t n = g.vertex_count();
+  if (n == 0) {
+    result.tree.spanning = true;
+    return result;
+  }
+  const double sign = orientation == Orientation::kMin ? 1.0 : -1.0;
+  const auto& edges = g.edges();
+  UnionFind uf(n);
+
+  constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> best(n, kNone);  // fragment root -> best edge idx
+
+  bool progressed = true;
+  while (uf.set_count() > 1 && progressed) {
+    progressed = false;
+    ++result.rounds;
+
+    // Phase 1: each fragment discovers its best outgoing edge.  In a real
+    // deployment every member reports its local best up the fragment tree:
+    // one message per member per round.
+    for (std::uint32_t v = 0; v < n; ++v) best[uf.find(v)] = kNone;
+    result.messages += n;
+    for (std::uint32_t idx = 0; idx < edges.size(); ++idx) {
+      const Edge& e = edges[idx];
+      const std::uint32_t ru = uf.find(e.u);
+      const std::uint32_t rv = uf.find(e.v);
+      if (ru == rv) continue;
+      const double key = sign * e.weight;
+      auto better = [&](std::uint32_t current) {
+        if (current == kNone) return true;
+        const double cur_key = sign * edges[current].weight;
+        if (key != cur_key) return key < cur_key;
+        return idx < current;  // deterministic tie-break prevents cycles
+      };
+      if (better(best[ru])) best[ru] = idx;
+      if (better(best[rv])) best[rv] = idx;
+    }
+
+    // Phase 2: merge over the chosen edges (1 announcement per fragment).
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t root = uf.find(v);
+      if (root != v) continue;  // one pass per fragment
+      const std::uint32_t choice = best[root];
+      if (choice == kNone) continue;
+      const Edge& e = edges[choice];
+      ++result.messages;  // merge announcement over the radio
+      if (uf.unite(e.u, e.v)) {
+        result.tree.edges.push_back(e);
+        result.tree.total_weight += e.weight;
+        progressed = true;
+      }
+    }
+  }
+
+  result.tree.spanning = (result.tree.edges.size() + 1 == n);
+  return result;
+}
+
+}  // namespace firefly::graph

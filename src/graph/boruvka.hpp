@@ -1,0 +1,32 @@
+// boruvka.hpp — message-counting distributed Borůvka.
+//
+// The paper bases its spanning-tree construction on "GHS and Boruvkas
+// algorithm".  This module runs Borůvka in synchronous rounds the way a
+// radio network would: in each round every fragment
+//   1. floods internally to find its best (min or max) outgoing edge
+//      (costing ~|fragment| messages),
+//   2. announces a merge over that edge (1 message),
+//   3. merged fragments adopt the larger side's head (union by size).
+// Message and round counts are reported so the spanning-tree bench can
+// compare against the naive all-pairs approach.  Ties are broken on
+// (weight, edge index) so the run is deterministic and never cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/mst.hpp"
+
+namespace firefly::graph {
+
+struct BoruvkaResult {
+  MstResult tree;
+  std::size_t rounds{0};
+  std::uint64_t messages{0};  ///< intra-fragment floods + merge announcements
+};
+
+[[nodiscard]] BoruvkaResult boruvka(const Graph& g,
+                                    Orientation orientation = Orientation::kMin);
+
+}  // namespace firefly::graph

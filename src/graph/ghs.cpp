@@ -1,0 +1,153 @@
+#include "graph/ghs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include "graph/union_find.hpp"
+
+namespace firefly::graph {
+
+namespace {
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+}
+
+GhsResult ghs(const Graph& g, Orientation orientation) {
+  GhsResult result;
+  const std::size_t n = g.vertex_count();
+  if (n == 0) {
+    result.tree.spanning = true;
+    return result;
+  }
+  const double sign = orientation == Orientation::kMin ? 1.0 : -1.0;
+  const auto& edges = g.edges();
+
+  UnionFind uf(n);
+  std::vector<std::size_t> level(n, 0);  // indexed by fragment root
+
+  // Per-vertex adjacency sorted by (oriented weight, edge index): GHS nodes
+  // probe edges in this order and remember rejected (intra-fragment) edges.
+  std::vector<std::vector<Neighbor>> sorted_adj(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const auto span = g.neighbors(v);
+    sorted_adj[v].assign(span.begin(), span.end());
+    std::sort(sorted_adj[v].begin(), sorted_adj[v].end(),
+              [&](const Neighbor& a, const Neighbor& b) {
+                const double ka = sign * a.weight;
+                const double kb = sign * b.weight;
+                if (ka != kb) return ka < kb;
+                return a.edge_index < b.edge_index;
+              });
+  }
+  // Probe cursor per vertex: edges before it are known-internal (rejected
+  // once, never probed again — GHS's "rejected" edge state).
+  std::vector<std::size_t> cursor(n, 0);
+
+  std::vector<std::uint32_t> best(n, kNone);  // fragment root -> best edge
+
+  while (uf.set_count() > 1) {
+    ++result.rounds;
+
+    // --- Find phase: every fragment locates its best outgoing edge. ---
+    for (std::uint32_t v = 0; v < n; ++v) best[uf.find(v)] = kNone;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t root = uf.find(v);
+      // Advance past edges now internal to the fragment.
+      auto& adj = sorted_adj[v];
+      while (cursor[v] < adj.size()) {
+        const Neighbor& nb = adj[cursor[v]];
+        ++result.messages.test;
+        ++result.messages.accept_reject;
+        if (uf.find(nb.to) == root) {
+          ++cursor[v];  // rejected: internal edge, never probed again
+          continue;
+        }
+        // Accepted: this is v's local best outgoing edge.
+        const std::uint32_t idx = nb.edge_index;
+        auto better = [&](std::uint32_t current) {
+          if (current == kNone) return true;
+          const double key = sign * edges[idx].weight;
+          const double cur = sign * edges[current].weight;
+          if (key != cur) return key < cur;
+          return idx < current;
+        };
+        if (better(best[root])) best[root] = idx;
+        break;
+      }
+      ++result.messages.report;  // report up the fragment tree
+    }
+
+    // --- Connect phase with the GHS level rule. ---
+    // Collect each fragment's choice first (simultaneous sends).
+    std::unordered_map<std::uint32_t, std::uint32_t> choice;  // root -> edge
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t root = uf.find(v);
+      if (root == v && best[root] != kNone) {
+        choice.emplace(root, best[root]);
+        ++result.messages.connect;
+      }
+    }
+    if (choice.empty()) break;  // disconnected graph: no outgoing edges left
+
+    bool progressed = false;
+    for (const auto& [root, edge_idx] : choice) {
+      if (uf.find(root) != root) continue;  // already absorbed this round
+      const Edge& e = edges[edge_idx];
+      std::uint32_t peer = uf.find(e.u) == root ? uf.find(e.v) : uf.find(e.u);
+      if (peer == root) continue;  // became internal meanwhile
+
+      const std::size_t my_level = level[root];
+      const std::size_t peer_level = level[peer];
+      const auto peer_choice = choice.find(peer);
+      const bool mutual = peer_choice != choice.end() && peer_choice->second == edge_idx;
+
+      std::size_t new_level;
+      if (mutual && my_level == peer_level) {
+        new_level = my_level + 1;  // merge
+      } else if (peer_level > my_level) {
+        new_level = peer_level;    // absorb into higher-level fragment
+      } else {
+        continue;                  // wait (peer is lower level, not mutual)
+      }
+
+      if (uf.unite(root, peer)) {
+        result.tree.edges.push_back(e);
+        result.tree.total_weight += e.weight;
+        const std::uint32_t new_root = uf.find(root);
+        level[new_root] = new_level;
+        result.max_level = std::max(result.max_level, new_level);
+        // Initiate: flood the new fragment identity to every member.
+        result.messages.initiate += uf.size_of(new_root);
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      // All pending connects are waits; in synchronous GHS the lowest-level
+      // fragments would eventually force progress.  Force the minimum-key
+      // mutual-less connect to absorb to avoid an artificial stall.
+      std::uint32_t pick = kNone;
+      for (const auto& [root, edge_idx] : choice) {
+        if (uf.find(root) != root) continue;
+        if (pick == kNone || sign * edges[edge_idx].weight < sign * edges[pick].weight ||
+            (edges[edge_idx].weight == edges[pick].weight && edge_idx < pick)) {
+          pick = edge_idx;
+        }
+      }
+      if (pick == kNone) break;
+      const Edge& e = edges[pick];
+      if (uf.unite(e.u, e.v)) {
+        result.tree.edges.push_back(e);
+        result.tree.total_weight += e.weight;
+        const std::uint32_t new_root = uf.find(e.u);
+        level[new_root] = std::max(level[uf.find(e.u)], static_cast<std::size_t>(1));
+        result.messages.initiate += uf.size_of(new_root);
+      }
+    }
+  }
+
+  result.tree.spanning = (result.tree.edges.size() + 1 == n);
+  return result;
+}
+
+}  // namespace firefly::graph

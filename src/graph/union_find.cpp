@@ -1,0 +1,33 @@
+#include "graph/union_find.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace firefly::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parents_(n), sizes_(n, 1), set_count_(n) {
+  std::iota(parents_.begin(), parents_.end(), 0U);
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) {
+  assert(x < parents_.size());
+  while (parents_[x] != x) {
+    parents_[x] = parents_[parents_[x]];  // path halving
+    x = parents_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) {
+  std::uint32_t ra = find(a);
+  std::uint32_t rb = find(b);
+  if (ra == rb) return false;
+  if (sizes_[ra] < sizes_[rb]) std::swap(ra, rb);
+  parents_[rb] = ra;
+  sizes_[ra] += sizes_[rb];
+  --set_count_;
+  return true;
+}
+
+}  // namespace firefly::graph

@@ -1,0 +1,26 @@
+#include "mac/rach.hpp"
+
+namespace firefly::mac {
+
+const char* to_string(RachCodec codec) {
+  switch (codec) {
+    case RachCodec::kRach1: return "RACH1";
+    case RachCodec::kRach2: return "RACH2";
+  }
+  return "?";
+}
+
+const char* to_string(PsType type) {
+  switch (type) {
+    case PsType::kSyncPulse: return "sync-pulse";
+    case PsType::kDiscovery: return "discovery";
+    case PsType::kConnectRequest: return "connect-request";
+    case PsType::kConnectAccept: return "connect-accept";
+    case PsType::kMergeAnnounce: return "merge-announce";
+    case PsType::kHeadToken: return "head-token";
+    case PsType::kSyncFlood: return "sync-flood";
+  }
+  return "?";
+}
+
+}  // namespace firefly::mac

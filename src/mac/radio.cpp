@@ -1,0 +1,152 @@
+#include "mac/radio.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace firefly::mac {
+
+RadioMedium::RadioMedium(sim::Simulator* sim, phy::Channel* channel, double capture_margin_db)
+    : sim_(sim), channel_(channel), capture_margin_db_(capture_margin_db) {
+  assert(sim_ != nullptr && channel_ != nullptr);
+}
+
+void RadioMedium::add_device(std::uint32_t id, geo::Vec2 position, ReceiveFn on_receive,
+                             ListenFn listening) {
+  if (id >= id_to_index_.size()) {
+    id_to_index_.resize(id + 1, std::numeric_limits<std::size_t>::max());
+  }
+  assert(id_to_index_[id] == std::numeric_limits<std::size_t>::max() && "duplicate device id");
+  id_to_index_[id] = devices_.size();
+  devices_.push_back(DeviceEntry{id, position, std::move(on_receive), std::move(listening)});
+  cache_valid_ = false;
+}
+
+std::size_t RadioMedium::index_of(std::uint32_t id) const {
+  assert(id < id_to_index_.size());
+  const std::size_t idx = id_to_index_[id];
+  assert(idx != std::numeric_limits<std::size_t>::max());
+  return idx;
+}
+
+void RadioMedium::move_device(std::uint32_t id, geo::Vec2 position) {
+  devices_[index_of(id)].position = position;
+  cache_valid_ = false;
+}
+
+geo::Vec2 RadioMedium::device_position(std::uint32_t id) const {
+  return devices_[index_of(id)].position;
+}
+
+void RadioMedium::build_candidate_cache(double fading_margin_db) {
+  const std::size_t n = devices_.size();
+  candidates_.assign(n, {});
+  const util::Dbm cutoff = channel_->params().detection_threshold - util::Db{fading_margin_db};
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t r = 0; r < n; ++r) {
+      if (s == r) continue;
+      const util::Dbm mean = channel_->mean_received_power(
+          devices_[s].id, devices_[s].position, devices_[r].id, devices_[r].position);
+      if (mean >= cutoff) candidates_[s].push_back(r);
+    }
+  }
+  cache_valid_ = true;
+}
+
+void RadioMedium::broadcast(std::uint32_t sender, Preamble preamble, PsType type,
+                            std::uint64_t payload) {
+  const std::int64_t slot = slot_index(sim_->now());
+  const sim::SimTime slot_start = sim::SimTime{slot * sim::kLteSlot.us};
+  pending_.push_back(PendingTx{sender, preamble, type, payload, slot_start});
+  if (energy_ != nullptr) energy_->record_tx(sender);
+  switch (preamble.codec) {
+    case RachCodec::kRach1: ++counters_.rach1_tx; break;
+    case RachCodec::kRach2: ++counters_.rach2_tx; break;
+  }
+  ensure_flush_scheduled();
+}
+
+void RadioMedium::ensure_flush_scheduled() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  // Deliver at the end of the current slot.
+  const std::int64_t slot = slot_index(sim_->now());
+  const sim::SimTime boundary = sim::SimTime{(slot + 1) * sim::kLteSlot.us};
+  sim_->schedule_at(boundary, [this] { flush_slot(); });
+}
+
+void RadioMedium::flush_slot() {
+  flush_scheduled_ = false;
+  std::vector<PendingTx> batch;
+  batch.swap(pending_);
+  if (batch.empty()) return;
+
+  // Bucket audible transmissions by receiver, then resolve same-resource
+  // collisions per receiver with the capture rule.
+  struct Audible {
+    const PendingTx* tx;
+    util::Dbm power;
+  };
+  static thread_local std::vector<std::vector<Audible>> buckets;
+  static thread_local std::vector<std::size_t> touched;
+  if (buckets.size() < devices_.size()) buckets.resize(devices_.size());
+  touched.clear();
+
+  auto add_audible = [&](std::size_t rx_index, const PendingTx& tx) {
+    const DeviceEntry& rx = devices_[rx_index];
+    if (tx.sender == rx.id) return;  // half-duplex: no self-reception
+    if (rx.listening && !rx.listening()) return;  // duty-cycled receiver asleep
+    const geo::Vec2 tx_pos = devices_[index_of(tx.sender)].position;
+    const util::Dbm power = channel_->received_power(tx.sender, tx_pos, rx.id, rx.position);
+    if (!channel_->detectable(power)) return;
+    if (buckets[rx_index].empty()) touched.push_back(rx_index);
+    buckets[rx_index].push_back(Audible{&tx, power});
+  };
+
+  if (cache_valid_) {
+    for (const PendingTx& tx : batch) {
+      for (const std::size_t rx_index : candidates_[index_of(tx.sender)]) {
+        add_audible(rx_index, tx);
+      }
+    }
+  } else {
+    for (const PendingTx& tx : batch) {
+      for (std::size_t rx_index = 0; rx_index < devices_.size(); ++rx_index) {
+        add_audible(rx_index, tx);
+      }
+    }
+  }
+
+  for (const std::size_t rx_index : touched) {
+    auto& audible = buckets[rx_index];
+    const DeviceEntry& rx = devices_[rx_index];
+    const double noise_mw = channel_->params().noise_floor.milliwatts();
+    for (const Audible& a : audible) {
+      double interference_mw = 0.0;
+      for (const Audible& b : audible) {
+        if (&a == &b) continue;
+        if (same_resource(a.tx->preamble, b.tx->preamble)) {
+          interference_mw += b.power.milliwatts();
+        }
+      }
+      bool decoded = true;
+      if (interference_mw > 0.0) {
+        // SINR capture: signal over summed interference *plus noise*.
+        const util::Dbm denominator =
+            util::dbm_from_milliwatts(interference_mw + noise_mw);
+        decoded = (a.power - denominator).value >= capture_margin_db_;
+        if (!decoded) ++counters_.collisions;
+      }
+      if (!decoded) continue;
+      ++counters_.deliveries;
+      if (energy_ != nullptr) energy_->record_rx(rx.id);
+      rx.on_receive(Reception{a.tx->sender, a.tx->preamble, a.tx->type, a.tx->payload,
+                              a.power, a.tx->slot_start});
+    }
+    audible.clear();
+  }
+}
+
+}  // namespace firefly::mac

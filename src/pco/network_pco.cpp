@@ -1,0 +1,174 @@
+#include "pco/network_pco.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <functional>
+
+#include "pco/sync_metrics.hpp"
+
+namespace firefly::pco {
+
+PcoNetwork::PcoNetwork(const graph::Graph& coupling, PcoNetworkConfig config, util::Rng& rng)
+    : coupling_(coupling), config_(config) {
+  const std::size_t n = coupling.vertex_count();
+  phases_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) phases_.push_back(rng.uniform());
+  refractory_until_.assign(n, -1.0);
+}
+
+void PcoNetwork::fire_cascade(std::uint32_t origin, std::vector<std::uint32_t>& fired_now) {
+  // Breadth-first absorption: a firing pulses its neighbours; neighbours
+  // pushed to threshold fire in the same instant ("absorbed"), each such
+  // firing is itself a broadcast pulse.  A device fires at most once per
+  // instant (it resets to zero and becomes refractory).
+  std::deque<std::uint32_t> queue{origin};
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.front();
+    queue.pop_front();
+    if (phases_[v] < 1.0) continue;  // got reset by an earlier cascade step
+    phases_[v] = 0.0;
+    refractory_until_[v] = now_s_ + config_.refractory_s;
+    ++firings_;
+    fired_now.push_back(v);
+    for (const graph::Neighbor& nb : coupling_.neighbors(v)) {
+      if (refractory_until_[nb.to] >= now_s_) continue;
+      if (phases_[nb.to] >= 1.0) continue;  // already queued to fire
+      phases_[nb.to] = apply_prc(phases_[nb.to], config_.prc);
+      if (phases_[nb.to] >= 1.0) queue.push_back(nb.to);
+    }
+  }
+}
+
+PcoRunResult PcoNetwork::run() {
+  if (config_.delay_s > 0.0) return run_delayed();
+  return run_instantaneous();
+}
+
+void PcoNetwork::fire_with_delay(std::uint32_t origin) {
+  phases_[origin] = 0.0;
+  refractory_until_[origin] = now_s_ + config_.refractory_s;
+  ++firings_;
+  for (const graph::Neighbor& nb : coupling_.neighbors(origin)) {
+    arrivals_.push_back(Arrival{now_s_ + config_.delay_s, nb.to});
+    std::push_heap(arrivals_.begin(), arrivals_.end(), std::greater<>{});
+  }
+}
+
+PcoRunResult PcoNetwork::run_delayed() {
+  PcoRunResult result;
+  const std::size_t n = phases_.size();
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::uint64_t quiet_checks = 0;
+  while (now_s_ < config_.max_time_s) {
+    // Next event: the earliest natural firing or the earliest arrival.
+    double max_phase = -1.0;
+    std::uint32_t leader = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (phases_[i] > max_phase) {
+        max_phase = phases_[i];
+        leader = i;
+      }
+    }
+    const double fire_time = now_s_ + (1.0 - max_phase) * config_.period_s;
+    const bool arrival_first = !arrivals_.empty() && arrivals_.front().time_s < fire_time;
+    const double event_time = arrival_first ? arrivals_.front().time_s : fire_time;
+    const double dt = event_time - now_s_;
+    now_s_ = event_time;
+    for (double& p : phases_) p += dt / config_.period_s;
+
+    if (arrival_first) {
+      std::pop_heap(arrivals_.begin(), arrivals_.end(), std::greater<>{});
+      const Arrival arrival = arrivals_.back();
+      arrivals_.pop_back();
+      const std::uint32_t v = arrival.target;
+      if (refractory_until_[v] >= now_s_) continue;
+      phases_[v] = apply_prc(std::min(phases_[v], 1.0), config_.prc);
+      if (phases_[v] >= 1.0) fire_with_delay(v);
+    } else {
+      phases_[leader] = 1.0;
+      fire_with_delay(leader);
+    }
+
+    // Periodic convergence check (cheap spread test) once per ~period.
+    if (++quiet_checks % (2 * n) == 0) {
+      const double spread = circular_spread(phases_);
+      if (spread <= config_.spread_tolerance) {
+        result.converged = true;
+        result.convergence_time_s = now_s_;
+        result.final_spread = spread;
+        break;
+      }
+    }
+  }
+  result.total_firings = firings_;
+  if (!result.converged) {
+    result.convergence_time_s = now_s_;
+    result.final_spread = circular_spread(phases_);
+  }
+  result.cycles =
+      static_cast<std::size_t>(std::ceil(result.convergence_time_s / config_.period_s));
+  return result;
+}
+
+PcoRunResult PcoNetwork::run_instantaneous() {
+  PcoRunResult result;
+  const std::size_t n = phases_.size();
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<std::uint32_t> fired_now;
+  while (now_s_ < config_.max_time_s) {
+    // Next natural firing time.
+    double max_phase = 0.0;
+    std::uint32_t leader = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (phases_[i] > max_phase) {
+        max_phase = phases_[i];
+        leader = i;
+      }
+    }
+    const double dt = (1.0 - max_phase) * config_.period_s;
+    now_s_ += dt;
+    for (double& p : phases_) p += dt / config_.period_s;
+    // Guard against floating-point undershoot on the leader.
+    phases_[leader] = 1.0;
+
+    fired_now.clear();
+    fire_cascade(leader, fired_now);
+
+    // Converged when one cascade absorbed the whole population.
+    if (fired_now.size() == n) {
+      result.converged = true;
+      result.convergence_time_s = now_s_;
+      result.final_spread = 0.0;
+      break;
+    }
+    // Cheap spread check for near-convergence under refractory shadowing.
+    const double spread = circular_spread(phases_);
+    if (spread <= config_.spread_tolerance) {
+      result.converged = true;
+      result.convergence_time_s = now_s_;
+      result.final_spread = spread;
+      break;
+    }
+  }
+
+  result.total_firings = firings_;
+  if (!result.converged) {
+    result.convergence_time_s = now_s_;
+    result.final_spread = circular_spread(phases_);
+  }
+  result.cycles = static_cast<std::size_t>(
+      std::ceil(result.convergence_time_s / config_.period_s));
+  return result;
+}
+
+}  // namespace firefly::pco

@@ -1,0 +1,78 @@
+#include "pco/oscillator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace firefly::pco {
+
+Oscillator::Oscillator(double period_s, PrcParams prc, double initial_phase)
+    : period_(period_s), prc_(prc), phase_(initial_phase) {
+  assert(period_ > 0.0);
+  assert(initial_phase >= 0.0 && initial_phase < 1.0);
+}
+
+bool Oscillator::advance(double dt_s) {
+  assert(dt_s >= 0.0);
+  refractory_left_ = std::max(0.0, refractory_left_ - dt_s);
+  phase_ += dt_s / period_;
+  if (phase_ >= 1.0) {
+    phase_ = 1.0;
+    return true;
+  }
+  return false;
+}
+
+bool Oscillator::receive_pulse() {
+  if (refractory()) return false;
+  phase_ = apply_prc(phase_, prc_);
+  return phase_ >= 1.0;
+}
+
+void Oscillator::on_fired() {
+  phase_ = 0.0;
+  refractory_left_ = refractory_window_;
+}
+
+double Oscillator::time_to_fire() const { return (1.0 - phase_) * period_; }
+
+void Oscillator::set_phase(double phase) {
+  assert(phase >= 0.0 && phase <= 1.0);
+  phase_ = phase;
+}
+
+SlotOscillator::SlotOscillator(std::uint32_t period_slots, PrcParams prc,
+                               std::uint32_t initial_counter)
+    : period_slots_(period_slots), prc_(prc), counter_(initial_counter) {
+  assert(period_slots_ > 0);
+  assert(initial_counter < period_slots_);
+}
+
+bool SlotOscillator::tick() {
+  if (refractory_left_ > 0) --refractory_left_;
+  ++counter_;
+  return counter_ >= period_slots_;
+}
+
+bool SlotOscillator::receive_pulse() {
+  if (refractory()) return false;
+  const double theta = phase();
+  const double jumped = apply_prc(theta, prc_);
+  // Quantise back to slots, never moving backwards.
+  const auto new_counter = static_cast<std::uint32_t>(
+      std::ceil(jumped * static_cast<double>(period_slots_)));
+  counter_ = std::max(counter_, new_counter);
+  return counter_ >= period_slots_;
+}
+
+void SlotOscillator::on_fired() {
+  counter_ = 0;
+  refractory_left_ = refractory_slots_;
+}
+
+void SlotOscillator::set_counter(std::uint32_t counter) {
+  assert(counter <= period_slots_);
+  counter_ = counter;
+}
+
+}  // namespace firefly::pco

@@ -1,0 +1,87 @@
+// oscillator.hpp — integrate-and-fire oscillators (paper eqs. 3–4).
+//
+// Two granularities:
+//   * `Oscillator` — continuous phase θ ∈ [0, 1] advancing at dθ/dt = 1/T;
+//     used by the standalone PCO network and the theory tests.
+//   * `SlotOscillator` — the paper's "counter" formulation: an integer
+//     counter incremented once per LTE slot at a fixed rate, firing when it
+//     reaches the threshold (period) and resetting to zero.  Receptions
+//     apply the PRC to the counter, scaled by the period.  This is what the
+//     D2D devices actually run, because everything in LTE-A happens on slot
+//     boundaries.
+// Both support a refractory window after firing, the standard radio-network
+// guard (Werner-Allen et al.) against pulse echo loops under delay.
+#pragma once
+
+#include <cstdint>
+
+#include "pco/prc.hpp"
+
+namespace firefly::pco {
+
+class Oscillator {
+ public:
+  Oscillator(double period_s, PrcParams prc, double initial_phase = 0.0);
+
+  /// Advance by dt seconds; returns true if the threshold was crossed
+  /// (the oscillator fired and wrapped).
+  bool advance(double dt_s);
+
+  /// Handle a received pulse: apply the PRC unless refractory.
+  /// Returns true if the jump pushed the phase to threshold (fire now).
+  bool receive_pulse();
+
+  /// Must be called when the owner has processed a fire (resets phase and
+  /// starts the refractory window).
+  void on_fired();
+
+  [[nodiscard]] double phase() const { return phase_; }
+  [[nodiscard]] double period() const { return period_; }
+  /// Seconds until natural firing with no further input.
+  [[nodiscard]] double time_to_fire() const;
+  [[nodiscard]] bool refractory() const { return refractory_left_ > 0.0; }
+  void set_refractory_window(double seconds) { refractory_window_ = seconds; }
+  void set_phase(double phase);
+
+ private:
+  double period_;
+  PrcParams prc_;
+  double phase_;                    // [0, 1]
+  double refractory_window_ = 0.0;  // seconds
+  double refractory_left_ = 0.0;
+};
+
+/// Slot-granular counter oscillator (the paper's Section III description:
+/// "the counter value of devices increase by a fix rate; as counter value
+/// reach to threshold, the device sends PS and reset its counter to zero").
+class SlotOscillator {
+ public:
+  SlotOscillator(std::uint32_t period_slots, PrcParams prc, std::uint32_t initial_counter = 0);
+
+  /// One slot tick; true when the counter reached the period (fire).
+  bool tick();
+
+  /// Apply the PRC to the counter.  Returns true when the jump saturates
+  /// the counter (fire in this slot).  No-op during refractory slots.
+  bool receive_pulse();
+
+  void on_fired();
+
+  [[nodiscard]] std::uint32_t counter() const { return counter_; }
+  [[nodiscard]] std::uint32_t period_slots() const { return period_slots_; }
+  [[nodiscard]] double phase() const {
+    return static_cast<double>(counter_) / static_cast<double>(period_slots_);
+  }
+  [[nodiscard]] bool refractory() const { return refractory_left_ > 0; }
+  void set_refractory_slots(std::uint32_t slots) { refractory_slots_ = slots; }
+  void set_counter(std::uint32_t counter);
+
+ private:
+  std::uint32_t period_slots_;
+  PrcParams prc_;
+  std::uint32_t counter_;
+  std::uint32_t refractory_slots_ = 0;
+  std::uint32_t refractory_left_ = 0;
+};
+
+}  // namespace firefly::pco

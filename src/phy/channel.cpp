@@ -1,0 +1,45 @@
+#include "phy/channel.hpp"
+
+#include <cassert>
+
+namespace firefly::phy {
+
+Channel::Channel(RadioParams params, std::unique_ptr<PathLossModel> pathloss,
+                 std::unique_ptr<ShadowingModel> shadowing,
+                 std::unique_ptr<FadingModel> fading, util::Rng fading_rng)
+    : params_(params),
+      pathloss_(std::move(pathloss)),
+      shadowing_(std::move(shadowing)),
+      fading_(std::move(fading)),
+      fading_rng_(fading_rng) {
+  assert(pathloss_ != nullptr && shadowing_ != nullptr && fading_ != nullptr);
+}
+
+util::Dbm Channel::received_power(std::uint32_t tx_id, geo::Vec2 tx_pos, std::uint32_t rx_id,
+                                  geo::Vec2 rx_pos) {
+  const double d = geo::distance(tx_pos, rx_pos);
+  return params_.tx_power - pathloss_->loss(d) - shadowing_->sample(tx_id, rx_id) -
+         fading_->sample(fading_rng_);
+}
+
+util::Dbm Channel::mean_received_power(std::uint32_t tx_id, geo::Vec2 tx_pos,
+                                       std::uint32_t rx_id, geo::Vec2 rx_pos) {
+  const double d = geo::distance(tx_pos, rx_pos);
+  return params_.tx_power - pathloss_->loss(d) - shadowing_->sample(tx_id, rx_id);
+}
+
+double Channel::median_range() const {
+  const util::Db budget = params_.tx_power - params_.detection_threshold;
+  return pathloss_->distance_for_loss(budget);
+}
+
+std::unique_ptr<Channel> make_paper_channel(std::uint64_t master_seed, RadioParams params) {
+  util::RngFactory factory(master_seed);
+  return std::make_unique<Channel>(
+      params, make_paper_model(),
+      std::make_unique<PerLinkShadowing>(params.shadowing_sigma_db,
+                                         factory.make("phy.shadowing")),
+      std::make_unique<RayleighFading>(), factory.make("phy.fading"));
+}
+
+}  // namespace firefly::phy

@@ -1,0 +1,88 @@
+// channel.hpp — the composed radio channel.
+//
+// Combines transmit power with deterministic path loss, static per-link
+// shadowing and per-reception fast fading into a received power
+//     rx = tx − PL(d) − X_shadow(link) − X_fade,            (paper eqs. 7–10)
+// and answers the two questions the protocols ask:
+//   * what power does device b receive from device a right now, and
+//   * is that above the detection threshold (Table I: −95 dBm)?
+// The channel owns the stochastic models; protocol code never touches RNGs
+// for propagation, which keeps PHY randomness in one auditable stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "geo/point.hpp"
+#include "phy/fading.hpp"
+#include "phy/pathloss.hpp"
+#include "phy/shadowing.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace firefly::phy {
+
+/// Table I radio constants.
+struct RadioParams {
+  util::Dbm tx_power{23.0};             ///< device power, 23 dBm
+  util::Dbm detection_threshold{-95.0}; ///< PS detection threshold
+  double shadowing_sigma_db{10.0};      ///< shadowing std-dev
+  /// Same-preamble capture: decoded anyway when the wanted signal exceeds
+  /// the summed interference-plus-noise by this margin (typical LTE PRACH
+  /// detector ~3 dB).
+  double capture_margin_db{3.0};
+  /// Receiver noise floor: kTB + noise figure for a 1.4 MHz LTE carrier
+  /// (−174 + 61.5 + 9 ≈ −104 dBm).  The −95 dBm detection threshold sits
+  /// 9 dB above it; noise mainly matters inside the capture rule, where it
+  /// adds to same-preamble interference.
+  util::Dbm noise_floor{-104.0};
+  /// Links whose slot-averaged power clears the threshold by this margin
+  /// are "reliable": they define the discovery obligation and the per-link
+  /// sync criterion (weaker links fade below threshold too often to owe
+  /// either).
+  double reliable_link_margin_db{6.0};
+};
+
+class Channel {
+ public:
+  Channel(RadioParams params, std::unique_ptr<PathLossModel> pathloss,
+          std::unique_ptr<ShadowingModel> shadowing, std::unique_ptr<FadingModel> fading,
+          util::Rng fading_rng);
+
+  /// Received power at `rx_pos` for a transmission from device `tx_id` at
+  /// `tx_pos` to device `rx_id`.  Draws fresh fast fading.
+  [[nodiscard]] util::Dbm received_power(std::uint32_t tx_id, geo::Vec2 tx_pos,
+                                         std::uint32_t rx_id, geo::Vec2 rx_pos);
+
+  /// Received power without fast fading (slot-averaged), used by neighbour
+  /// weight estimation where the protocol averages several PSs.
+  [[nodiscard]] util::Dbm mean_received_power(std::uint32_t tx_id, geo::Vec2 tx_pos,
+                                              std::uint32_t rx_id, geo::Vec2 rx_pos);
+
+  [[nodiscard]] bool detectable(util::Dbm rx) const {
+    return rx >= params_.detection_threshold;
+  }
+
+  /// Deterministic maximum range: distance at which the *median* channel
+  /// (no shadowing/fading) hits the threshold.  Useful for bounding
+  /// neighbour candidate sets.
+  [[nodiscard]] double median_range() const;
+
+  [[nodiscard]] const RadioParams& params() const { return params_; }
+  [[nodiscard]] const PathLossModel& pathloss() const { return *pathloss_; }
+  [[nodiscard]] ShadowingModel& shadowing() { return *shadowing_; }
+
+ private:
+  RadioParams params_;
+  std::unique_ptr<PathLossModel> pathloss_;
+  std::unique_ptr<ShadowingModel> shadowing_;
+  std::unique_ptr<FadingModel> fading_;
+  util::Rng fading_rng_;
+};
+
+/// Canonical Table I channel: dual-slope path loss, per-link 10 dB
+/// shadowing, Rayleigh fast fading; seeded from `master_seed`.
+[[nodiscard]] std::unique_ptr<Channel> make_paper_channel(std::uint64_t master_seed,
+                                                          RadioParams params = {});
+
+}  // namespace firefly::phy

@@ -1,0 +1,40 @@
+#include "phy/energy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace firefly::phy {
+
+EnergyMeter::EnergyMeter(std::size_t device_count, EnergyParams params)
+    : params_(params), tx_slots_(device_count, 0), rx_slots_(device_count, 0) {}
+
+double EnergyMeter::device_energy_mj(std::uint32_t device, std::int64_t elapsed_slots,
+                                     double awake_fraction) const {
+  assert(device < tx_slots_.size());
+  assert(awake_fraction >= 0.0 && awake_fraction <= 1.0);
+  const double tx = static_cast<double>(tx_slots_[device]);
+  const double rx = static_cast<double>(rx_slots_[device]);
+  const double busy = tx + rx;
+  const double remainder = std::max(0.0, static_cast<double>(elapsed_slots) - busy);
+  const double idle = remainder * awake_fraction;
+  const double sleep = remainder * (1.0 - awake_fraction);
+  const double mw_slots = tx * params_.tx_mw + rx * params_.rx_mw +
+                          idle * params_.idle_mw + sleep * params_.sleep_mw;
+  return mw_slots * params_.slot_seconds;  // mW·s == mJ
+}
+
+double EnergyMeter::total_energy_mj(std::int64_t elapsed_slots, double awake_fraction) const {
+  double total = 0.0;
+  for (std::uint32_t d = 0; d < tx_slots_.size(); ++d) {
+    total += device_energy_mj(d, elapsed_slots, awake_fraction);
+  }
+  return total;
+}
+
+double EnergyMeter::mean_energy_mj(std::int64_t elapsed_slots, double awake_fraction) const {
+  if (tx_slots_.empty()) return 0.0;
+  return total_energy_mj(elapsed_slots, awake_fraction) /
+         static_cast<double>(tx_slots_.size());
+}
+
+}  // namespace firefly::phy

@@ -1,0 +1,67 @@
+// fading.hpp — small-scale (fast) fading.
+//
+// Table I specifies "UMi (NLOS)" fast fading.  NLOS small-scale fading is
+// classically Rayleigh: the power gain is exponential with unit mean, i.e.
+// −10·log10(Exp(1)) dB of extra loss per slot.  Nakagami-m generalises it
+// (m = 1 reduces to Rayleigh; larger m approaches LOS Rician behaviour);
+// the ablation benches sweep m.  Fast fading is redrawn every slot, unlike
+// shadowing which is static per link.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace firefly::phy {
+
+class FadingModel {
+ public:
+  virtual ~FadingModel() = default;
+  /// Extra loss in dB for one reception (negative values = constructive).
+  [[nodiscard]] virtual util::Db sample(util::Rng& rng) const = 0;
+  [[nodiscard]] virtual double mean_power_gain() const = 0;
+};
+
+/// No fast fading: deterministic tests and analytic validation.
+class NoFading final : public FadingModel {
+ public:
+  [[nodiscard]] util::Db sample(util::Rng&) const override { return util::Db{0.0}; }
+  [[nodiscard]] double mean_power_gain() const override { return 1.0; }
+};
+
+/// Rayleigh fading: power gain ~ Exp(1).
+class RayleighFading final : public FadingModel {
+ public:
+  [[nodiscard]] util::Db sample(util::Rng& rng) const override;
+  [[nodiscard]] double mean_power_gain() const override { return 1.0; }
+};
+
+/// Rician fading with K-factor (LOS-dominated links): the amplitude is
+/// |sqrt(K/(K+1)) + CN(0, 1/(K+1))|, unit mean power.  K = 0 reduces to
+/// Rayleigh; large K approaches no fading.  Used by the LOS ablation —
+/// Table I itself is NLOS, hence Rayleigh.
+class RicianFading final : public FadingModel {
+ public:
+  explicit RicianFading(double k_factor) : k_(k_factor) {}
+
+  [[nodiscard]] util::Db sample(util::Rng& rng) const override;
+  [[nodiscard]] double mean_power_gain() const override { return 1.0; }
+  [[nodiscard]] double k_factor() const { return k_; }
+
+ private:
+  double k_;
+};
+
+/// Nakagami-m fading: power gain ~ Gamma(m, 1/m) (unit mean).
+class NakagamiFading final : public FadingModel {
+ public:
+  explicit NakagamiFading(double m) : m_(m) {}
+
+  [[nodiscard]] util::Db sample(util::Rng& rng) const override;
+  [[nodiscard]] double mean_power_gain() const override { return 1.0; }
+  [[nodiscard]] double m() const { return m_; }
+
+ private:
+  double m_;
+};
+
+}  // namespace firefly::phy

@@ -1,0 +1,84 @@
+#include "phy/pathloss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace firefly::phy {
+
+namespace {
+// The dual-slope curve is continuous at the breakpoint only approximately
+// (4.35 + 25·log10(6) = 23.80;  40 + 40·log10(6) = 71.13) — the paper's
+// Table I has a deliberate near-field/far-field regime jump, which we keep
+// verbatim.  Inversion resolves the ambiguity by preferring the far-field
+// branch (losses in the gap map to the breakpoint).
+constexpr double kNearIntercept = 4.35;
+constexpr double kNearSlope = 25.0;
+constexpr double kFarIntercept = 40.0;
+constexpr double kFarSlope = 40.0;
+}  // namespace
+
+LogDistance::LogDistance(double exponent, double reference_distance_m,
+                         util::Db loss_at_reference)
+    : exponent_(exponent), d0_(reference_distance_m), pl0_(loss_at_reference) {
+  assert(exponent_ > 0.0);
+  assert(d0_ > 0.0);
+}
+
+util::Db LogDistance::loss(double distance_m) const {
+  const double d = std::max(distance_m, min_distance());
+  return util::Db{pl0_.value + 10.0 * exponent_ * std::log10(d / d0_)};
+}
+
+double LogDistance::distance_for_loss(util::Db pl) const {
+  return d0_ * std::pow(10.0, (pl.value - pl0_.value) / (10.0 * exponent_));
+}
+
+std::string LogDistance::name() const {
+  std::ostringstream os;
+  os << "log-distance(n=" << exponent_ << ")";
+  return os.str();
+}
+
+util::Db PaperDualSlope::loss(double distance_m) const {
+  const double d = std::max(distance_m, min_distance());
+  if (d < kBreakpoint) return util::Db{kNearIntercept + kNearSlope * std::log10(d)};
+  return util::Db{kFarIntercept + kFarSlope * std::log10(d)};
+}
+
+double PaperDualSlope::distance_for_loss(util::Db pl) const {
+  const double far_loss_at_break = kFarIntercept + kFarSlope * std::log10(kBreakpoint);
+  if (pl.value >= far_loss_at_break) {
+    return std::pow(10.0, (pl.value - kFarIntercept) / kFarSlope);
+  }
+  const double near_loss_at_break = kNearIntercept + kNearSlope * std::log10(kBreakpoint);
+  if (pl.value >= near_loss_at_break) {
+    // Losses inside the regime gap have no preimage; snap to the breakpoint.
+    return kBreakpoint;
+  }
+  return std::max(min_distance(),
+                  std::pow(10.0, (pl.value - kNearIntercept) / kNearSlope));
+}
+
+util::Db FreeSpace::loss(double distance_m) const {
+  const double d = std::max(distance_m, min_distance());
+  return util::Db{20.0 * std::log10(d) + 20.0 * std::log10(frequency_hz_) - 147.55};
+}
+
+double FreeSpace::distance_for_loss(util::Db pl) const {
+  const double exponent = (pl.value - 20.0 * std::log10(frequency_hz_) + 147.55) / 20.0;
+  return std::pow(10.0, exponent);
+}
+
+std::unique_ptr<PathLossModel> make_paper_model() {
+  return std::make_unique<PaperDualSlope>();
+}
+
+std::unique_ptr<PathLossModel> make_outdoor_log_distance() {
+  // Outdoor exponent n = 4 per Section III, anchored to the dual-slope
+  // model's far-field intercept at 1 m.
+  return std::make_unique<LogDistance>(4.0, 1.0, util::Db{40.0});
+}
+
+}  // namespace firefly::phy

@@ -1,0 +1,31 @@
+#include "phy/rssi.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace firefly::phy {
+
+namespace {
+constexpr double kLn10 = 2.302585092994045684;
+// Standard normal quantile for p = 0.90.
+constexpr double kZ90 = 1.2815515655446004;
+}  // namespace
+
+double ranging_distortion(double shadow_db, double pathloss_exponent) {
+  assert(pathloss_exponent > 0.0);
+  return std::pow(10.0, shadow_db / (10.0 * pathloss_exponent));
+}
+
+RangingErrorStats analytic_ranging_error(double sigma_db, double pathloss_exponent) {
+  assert(sigma_db >= 0.0 && pathloss_exponent > 0.0);
+  const double s = sigma_db * kLn10 / (10.0 * pathloss_exponent);
+  const double s2 = s * s;
+  RangingErrorStats stats{};
+  stats.mean_ratio = std::exp(s2 / 2.0);
+  stats.stddev_ratio = std::sqrt((std::exp(s2) - 1.0) * std::exp(s2));
+  stats.median_ratio = 1.0;
+  stats.p90_ratio = std::exp(kZ90 * s);
+  return stats;
+}
+
+}  // namespace firefly::phy

@@ -1,0 +1,67 @@
+// event_queue.hpp — deterministic pending-event set.
+//
+// A binary min-heap keyed on (time, sequence number).  The monotone sequence
+// number gives FIFO semantics for simultaneous events, which is what makes
+// two identically seeded runs process events in the same order.  Events can
+// be cancelled in O(1) by id (lazy deletion at pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace firefly::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`.  Returns an id usable for cancel().
+  EventId schedule(SimTime at, EventFn fn);
+
+  /// Cancel a pending event.  Returns false if already fired or cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; SimTime::max() when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop the earliest live event.  Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace firefly::sim

@@ -1,0 +1,83 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <memory>
+#include <sstream>
+
+namespace firefly::sim {
+
+struct Simulator::PeriodicHandle::State {
+  Simulator* sim = nullptr;
+  SimTime period{};
+  EventFn fn;
+  EventId pending = 0;
+  bool cancelled = false;
+};
+
+EventId Simulator::schedule_at(SimTime at, EventFn fn) {
+  assert(at >= now_);
+  return queue_.schedule(at, std::move(fn));
+}
+
+EventId Simulator::schedule_in(SimTime delay, EventFn fn) {
+  assert(delay.us >= 0);
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::PeriodicHandle::cancel() {
+  if (state_ == nullptr) return;
+  state_->cancelled = true;
+  if (state_->pending != 0) sim_->cancel(state_->pending);
+  state_ = nullptr;
+}
+
+Simulator::PeriodicHandle Simulator::schedule_periodic(SimTime phase, SimTime period, EventFn fn) {
+  assert(period.us > 0);
+  auto* state = new PeriodicHandle::State{this, period, std::move(fn), 0, false};
+  periodic_states_.push_back(state);
+
+  // Self-rescheduling closure: fires, then re-arms unless cancelled.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [state, tick]() {
+    if (state->cancelled) return;
+    state->fn();
+    if (state->cancelled) return;
+    state->pending = state->sim->schedule_in(state->period, [tick] { (*tick)(); });
+  };
+  state->pending = schedule_in(phase, [tick] { (*tick)(); });
+
+  PeriodicHandle handle;
+  handle.state_ = state;
+  handle.sim_ = this;
+  return handle;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > deadline) {
+      now_ = deadline;
+      return now_;
+    }
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    ++events_processed_;
+    fired.fn();
+  }
+  if (queue_.empty() && now_ < deadline && deadline != SimTime::max()) now_ = deadline;
+  return now_;
+}
+
+SimTime Simulator::run() { return run_until(SimTime::max()); }
+
+Simulator::~Simulator() {
+  for (auto* s : periodic_states_) delete s;
+}
+
+std::string to_string(SimTime t) {
+  std::ostringstream os;
+  os << t.as_milliseconds() << " ms";
+  return os.str();
+}
+
+}  // namespace firefly::sim

@@ -1,0 +1,67 @@
+// simulator.hpp — the discrete-event scheduler.
+//
+// A single-threaded event loop over `EventQueue`.  Protocol entities
+// schedule callbacks in the future (`schedule_in`/`schedule_at`), install
+// periodic timers, and the loop advances the clock from event to event.
+// `run_until` bounds a run; convergence detectors call `stop()` to end it
+// early.  One Simulator per Monte-Carlo trial; trials parallelise across a
+// thread pool with no shared state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace firefly::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Schedule at an absolute simulated time (must be >= now()).
+  EventId schedule_at(SimTime at, EventFn fn);
+  /// Schedule `delay` after now().
+  EventId schedule_in(SimTime delay, EventFn fn);
+  /// Cancel a pending event; false if already fired/cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Install a periodic timer with the given period, first firing at
+  /// now() + phase.  Returns the id of the *current* pending occurrence via
+  /// the handle; cancelling the handle stops the series.
+  class PeriodicHandle {
+   public:
+    PeriodicHandle() = default;
+    void cancel();
+    [[nodiscard]] bool active() const { return state_ != nullptr; }
+
+   private:
+    friend class Simulator;
+    struct State;
+    State* state_ = nullptr;
+    Simulator* sim_ = nullptr;
+  };
+  PeriodicHandle schedule_periodic(SimTime phase, SimTime period, EventFn fn);
+
+  /// Run until the queue drains or `deadline` passes.  Returns the time the
+  /// loop stopped at.
+  SimTime run_until(SimTime deadline);
+  /// Run until the queue drains (use with care: periodic timers never drain).
+  SimTime run();
+  /// Request an early stop from inside an event callback.
+  void stop() { stop_requested_ = true; }
+  [[nodiscard]] bool stopped() const { return stop_requested_; }
+
+  ~Simulator();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+  std::vector<PeriodicHandle::State*> periodic_states_;
+};
+
+}  // namespace firefly::sim

@@ -1,0 +1,52 @@
+// log.hpp — minimal leveled logger for protocol tracing.
+//
+// The simulator's protocol state machines log fragment merges, RACH
+// handshakes and firing events at Debug/Trace level; experiments run with
+// logging off by default so the hot path stays free of I/O.  The logger is a
+// process-wide singleton guarded by a mutex (log volume is low; contention
+// is irrelevant next to the cost of formatting).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace firefly::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global threshold; messages below it are discarded before formatting.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+/// Sink the formatted line (thread-safe).  Exposed for tests.
+void log_emit(LogLevel level, const std::string& message);
+
+namespace detail {
+/// RAII line builder: streams into a buffer, emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace firefly::util
+
+// Usage: FIREFLY_LOG(kDebug) << "fragment " << id << " merged";
+#define FIREFLY_LOG(level)                                                     \
+  if (::firefly::util::LogLevel::level < ::firefly::util::log_level()) {       \
+  } else                                                                       \
+    ::firefly::util::detail::LogLine(::firefly::util::LogLevel::level)

@@ -1,0 +1,69 @@
+// stats.hpp — streaming and batch statistics for experiment results.
+//
+// `RunningStats` uses Welford's numerically stable online algorithm so that
+// millions of samples can be accumulated without storing them.  `Sample`
+// stores values for percentile queries and confidence intervals, which the
+// experiment harness reports alongside every figure series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace firefly::util {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Value-retaining sample for order statistics.
+class Sample {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  /// Half-width of the t-distribution-free normal-approximation 95% CI.
+  [[nodiscard]] double ci95_halfwidth() const;
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// Least-squares fit of log(y) = a + b·log(x); returns the exponent b.
+/// Used by the complexity benches to estimate empirical scaling orders.
+[[nodiscard]] double fit_loglog_slope(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+/// Pearson correlation coefficient.
+[[nodiscard]] double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace firefly::util

@@ -1,0 +1,103 @@
+// Tests for message-counting distributed Borůvka (src/graph/boruvka.hpp).
+#include "graph/boruvka.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/mst.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace firefly::graph;
+
+Graph random_connected_graph(std::size_t n, firefly::util::Rng& rng) {
+  Graph g(n);
+  // Random spanning chain guarantees connectivity, plus random extras.
+  for (std::uint32_t v = 1; v < n; ++v) {
+    g.add_edge(v - 1, v, rng.uniform(1.0, 100.0));
+  }
+  const std::size_t extras = n * 2;
+  for (std::size_t i = 0; i < extras; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform_index(n));
+    const auto v = static_cast<std::uint32_t>(rng.uniform_index(n));
+    if (u != v) g.add_edge(u, v, rng.uniform(1.0, 100.0));
+  }
+  return g;
+}
+
+TEST(Boruvka, MatchesKruskalWeight) {
+  firefly::util::Rng rng(21);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g = random_connected_graph(60, rng);
+    const BoruvkaResult b = boruvka(g);
+    const MstResult k = kruskal(g);
+    EXPECT_TRUE(b.tree.spanning);
+    EXPECT_NEAR(b.tree.total_weight, k.total_weight, 1e-9) << "trial " << trial;
+    EXPECT_TRUE(is_spanning_tree(g.vertex_count(), b.tree.edges));
+  }
+}
+
+TEST(Boruvka, MaxOrientationMatchesKruskalMax) {
+  firefly::util::Rng rng(22);
+  Graph g = random_connected_graph(50, rng);
+  const BoruvkaResult b = boruvka(g, Orientation::kMax);
+  const MstResult k = kruskal(g, Orientation::kMax);
+  EXPECT_NEAR(b.tree.total_weight, k.total_weight, 1e-9);
+}
+
+TEST(Boruvka, RoundsAreLogarithmic) {
+  // Fragments at least halve per round: rounds <= ceil(log2 n).
+  firefly::util::Rng rng(23);
+  for (const std::size_t n : {16UL, 64UL, 256UL, 1024UL}) {
+    Graph g = random_connected_graph(n, rng);
+    const BoruvkaResult b = boruvka(g);
+    EXPECT_LE(b.rounds, static_cast<std::size_t>(std::ceil(std::log2(n))) + 1)
+        << "n=" << n;
+  }
+}
+
+TEST(Boruvka, MessageCountIsNLogNish) {
+  // ~n messages per round, log n rounds.
+  firefly::util::Rng rng(24);
+  for (const std::size_t n : {64UL, 256UL, 1024UL}) {
+    Graph g = random_connected_graph(n, rng);
+    const BoruvkaResult b = boruvka(g);
+    const double bound = 2.5 * static_cast<double>(n) * (std::log2(double(n)) + 1.0);
+    EXPECT_LT(static_cast<double>(b.messages), bound) << "n=" << n;
+    EXPECT_GE(b.messages, n);  // at least one report per node
+  }
+}
+
+TEST(Boruvka, EqualWeightsStillTerminate) {
+  // The index tie-break must prevent merge cycles.
+  Graph g(6);
+  for (std::uint32_t u = 0; u < 6; ++u) {
+    for (std::uint32_t v = u + 1; v < 6; ++v) g.add_edge(u, v, 7.0);
+  }
+  const BoruvkaResult b = boruvka(g);
+  EXPECT_TRUE(b.tree.spanning);
+  EXPECT_EQ(b.tree.edges.size(), 5U);
+}
+
+TEST(Boruvka, DisconnectedGraphYieldsForest) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(3, 4, 3.0);
+  const BoruvkaResult b = boruvka(g);
+  EXPECT_FALSE(b.tree.spanning);
+  EXPECT_EQ(b.tree.edges.size(), 3U);
+}
+
+TEST(Boruvka, TrivialInputs) {
+  Graph empty(0);
+  EXPECT_TRUE(boruvka(empty).tree.spanning);
+  Graph single(1);
+  const BoruvkaResult b = boruvka(single);
+  EXPECT_TRUE(b.tree.spanning);
+  EXPECT_TRUE(b.tree.edges.empty());
+}
+
+}  // namespace

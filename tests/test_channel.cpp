@@ -1,0 +1,105 @@
+// Tests for the composed channel (src/phy/channel.hpp).
+#include "phy/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace firefly::phy;
+using firefly::geo::Vec2;
+using firefly::util::Dbm;
+using firefly::util::Rng;
+
+std::unique_ptr<Channel> deterministic_channel(RadioParams params = {}) {
+  return std::make_unique<Channel>(params, std::make_unique<PaperDualSlope>(),
+                                   std::make_unique<NoShadowing>(),
+                                   std::make_unique<NoFading>(), Rng(1));
+}
+
+TEST(Channel, DeterministicCompositionMatchesFormula) {
+  auto channel = deterministic_channel();
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 0.0};
+  // 23 dBm - (40 + 40·log10(10)) = 23 - 80 = -57 dBm.
+  EXPECT_NEAR(channel->received_power(0, a, 1, b).value, -57.0, 1e-9);
+  EXPECT_NEAR(channel->mean_received_power(0, a, 1, b).value, -57.0, 1e-9);
+}
+
+TEST(Channel, DetectableAgainstTableThreshold) {
+  auto channel = deterministic_channel();
+  EXPECT_TRUE(channel->detectable(Dbm{-95.0}));
+  EXPECT_TRUE(channel->detectable(Dbm{-60.0}));
+  EXPECT_FALSE(channel->detectable(Dbm{-95.1}));
+}
+
+TEST(Channel, MedianRangeMatchesLinkBudget) {
+  auto channel = deterministic_channel();
+  // Budget 118 dB on the dual-slope far field: 10^((118-40)/40) ≈ 89.1 m.
+  EXPECT_NEAR(channel->median_range(), std::pow(10.0, 78.0 / 40.0), 1e-6);
+}
+
+TEST(Channel, ShadowingShiftsMeanPower) {
+  RadioParams params;
+  auto channel = std::make_unique<Channel>(
+      params, std::make_unique<PaperDualSlope>(),
+      std::make_unique<PerLinkShadowing>(10.0, Rng(7)), std::make_unique<NoFading>(),
+      Rng(2));
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 0.0};
+  const double with_shadow = channel->mean_received_power(0, a, 1, b).value;
+  // Same link shadowing is frozen: repeatable.
+  EXPECT_DOUBLE_EQ(channel->mean_received_power(0, a, 1, b).value, with_shadow);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(channel->mean_received_power(1, b, 0, a).value, with_shadow);
+  // And almost surely different from the unshadowed value.
+  EXPECT_NE(with_shadow, -57.0);
+}
+
+TEST(Channel, FadingVariesPerReception) {
+  RadioParams params;
+  auto channel = std::make_unique<Channel>(
+      params, std::make_unique<PaperDualSlope>(), std::make_unique<NoShadowing>(),
+      std::make_unique<RayleighFading>(), Rng(3));
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 0.0};
+  const double p1 = channel->received_power(0, a, 1, b).value;
+  const double p2 = channel->received_power(0, a, 1, b).value;
+  EXPECT_NE(p1, p2);
+  // Mean power is unaffected by fading.
+  EXPECT_NEAR(channel->mean_received_power(0, a, 1, b).value, -57.0, 1e-9);
+}
+
+TEST(Channel, PaperFactoryIsReproducible) {
+  auto c1 = make_paper_channel(99);
+  auto c2 = make_paper_channel(99);
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{25.0, 10.0};
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(c1->received_power(0, a, 1, b).value,
+                     c2->received_power(0, a, 1, b).value);
+  }
+}
+
+TEST(Channel, PaperFactorySeedsDiffer) {
+  auto c1 = make_paper_channel(1);
+  auto c2 = make_paper_channel(2);
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{25.0, 10.0};
+  EXPECT_NE(c1->mean_received_power(0, a, 1, b).value,
+            c2->mean_received_power(0, a, 1, b).value);
+}
+
+TEST(Channel, ParamsExposed) {
+  RadioParams params;
+  params.tx_power = Dbm{20.0};
+  auto channel = deterministic_channel(params);
+  EXPECT_DOUBLE_EQ(channel->params().tx_power.value, 20.0);
+  EXPECT_DOUBLE_EQ(channel->params().detection_threshold.value, -95.0);
+}
+
+}  // namespace

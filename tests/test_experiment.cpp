@@ -1,0 +1,90 @@
+// Tests for the Monte-Carlo sweep harness (src/core/experiment.hpp).
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace firefly;
+using core::Protocol;
+using core::SweepConfig;
+using core::SweepPoint;
+
+SweepConfig tiny_sweep() {
+  SweepConfig config;
+  config.ns = {20, 40};
+  config.trials = 2;
+  config.base.area_policy = core::AreaPolicy::kFixed;
+  config.base.protocol.max_periods = 200;
+  config.master_seed = 99;
+  return config;
+}
+
+TEST(Sweep, ProducesOnePointPerN) {
+  const auto points = core::sweep(Protocol::kSt, tiny_sweep());
+  ASSERT_EQ(points.size(), 2U);
+  EXPECT_EQ(points[0].n, 20U);
+  EXPECT_EQ(points[1].n, 40U);
+  for (const SweepPoint& p : points) {
+    EXPECT_EQ(p.trials, 2U);
+    EXPECT_EQ(p.total_messages.count(), 2U);
+    EXPECT_LE(p.failure_rate, 1.0);
+  }
+}
+
+TEST(Sweep, ConvergedTrialsPopulateTimeSample) {
+  const auto points = core::sweep(Protocol::kFst, tiny_sweep());
+  for (const SweepPoint& p : points) {
+    if (p.failure_rate == 0.0) {
+      EXPECT_EQ(p.convergence_ms.count(), p.trials);
+      EXPECT_GT(p.convergence_ms.mean(), 0.0);
+    }
+  }
+}
+
+TEST(Sweep, ParallelEqualsSequential) {
+  // Seeds are derived per (n, trial), so the thread pool must not change
+  // any statistic.
+  const SweepConfig config = tiny_sweep();
+  const auto sequential = core::sweep(Protocol::kSt, config);
+  util::ThreadPool pool(4);
+  const auto parallel = core::sweep(Protocol::kSt, config, &pool);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sequential[i].total_messages.mean(), parallel[i].total_messages.mean());
+    EXPECT_DOUBLE_EQ(sequential[i].convergence_ms.mean(), parallel[i].convergence_ms.mean());
+    EXPECT_DOUBLE_EQ(sequential[i].failure_rate, parallel[i].failure_rate);
+    // Order-insensitive: medians of the retained samples agree too.
+    EXPECT_DOUBLE_EQ(sequential[i].collisions.median(), parallel[i].collisions.median());
+  }
+}
+
+TEST(Sweep, TrialsUseDistinctSeeds) {
+  SweepConfig config = tiny_sweep();
+  config.ns = {30};
+  config.trials = 4;
+  const auto points = core::sweep(Protocol::kSt, config);
+  ASSERT_EQ(points.size(), 1U);
+  const auto& values = points[0].total_messages.values();
+  ASSERT_EQ(values.size(), 4U);
+  // With distinct seeds it is effectively impossible for all four trials
+  // to produce the same message count.
+  const bool all_same = std::all_of(values.begin(), values.end(),
+                                    [&](double v) { return v == values[0]; });
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Sweep, MasterSeedChangesResults) {
+  SweepConfig a = tiny_sweep();
+  a.ns = {25};
+  a.trials = 1;
+  SweepConfig b = a;
+  b.master_seed = a.master_seed + 1;
+  const auto pa = core::sweep(Protocol::kFst, a);
+  const auto pb = core::sweep(Protocol::kFst, b);
+  EXPECT_NE(pa[0].total_messages.mean(), pb[0].total_messages.mean());
+}
+
+}  // namespace

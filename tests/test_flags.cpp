@@ -1,0 +1,78 @@
+// Tests for the command-line flag parser (src/util/flags.hpp).
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using firefly::util::Flags;
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  const Flags f = parse({"--n", "200", "--seed", "7"});
+  EXPECT_EQ(f.get("n", std::int64_t{0}), 200);
+  EXPECT_EQ(f.get("seed", std::int64_t{0}), 7);
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  const Flags f = parse({"--protocol=st", "--speed=2.5"});
+  EXPECT_EQ(f.get("protocol", std::string("fst")), "st");
+  EXPECT_DOUBLE_EQ(f.get("speed", 0.0), 2.5);
+}
+
+TEST(Flags, BareBooleans) {
+  const Flags f = parse({"--verbose", "--csv"});
+  EXPECT_TRUE(f.get("verbose", false));
+  EXPECT_TRUE(f.get("csv", false));
+  EXPECT_FALSE(f.get("quiet", false));
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_FALSE(f.has("quiet"));
+}
+
+TEST(Flags, BooleanBeforeAnotherFlagStaysBoolean) {
+  const Flags f = parse({"--verbose", "--n", "5"});
+  EXPECT_TRUE(f.get("verbose", false));
+  EXPECT_EQ(f.get("n", std::int64_t{0}), 5);
+}
+
+TEST(Flags, ExplicitBooleanValues) {
+  const Flags f = parse({"--a=true", "--b=false", "--c=1", "--d=no"});
+  EXPECT_TRUE(f.get("a", false));
+  EXPECT_FALSE(f.get("b", true));
+  EXPECT_TRUE(f.get("c", false));
+  EXPECT_FALSE(f.get("d", true));
+}
+
+TEST(Flags, FallbacksWhenMissing) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.get("n", std::int64_t{42}), 42);
+  EXPECT_DOUBLE_EQ(f.get("x", 1.5), 1.5);
+  EXPECT_EQ(f.get("s", std::string("def")), "def");
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = parse({"run", "--n", "5", "extra"});
+  ASSERT_EQ(f.positional().size(), 2U);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(Flags, NamesEnumeratesParsedFlags) {
+  const Flags f = parse({"--alpha", "1", "--beta=2"});
+  const auto names = f.names();
+  EXPECT_EQ(names.size(), 2U);
+  EXPECT_EQ(names[0], "alpha");  // std::map: sorted
+  EXPECT_EQ(names[1], "beta");
+}
+
+TEST(Flags, ProgramName) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.program(), "prog");
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Tests for geometry and deployments (src/geo/point.hpp, deployment.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/deployment.hpp"
+#include "geo/point.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace firefly::geo;
+using firefly::util::Rng;
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((2.0 * a), (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm_squared(), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), std::sqrt(4.0 + 9.0));
+}
+
+TEST(AreaTest, ContainsAndClamp) {
+  const Area area{100.0, 50.0};
+  EXPECT_TRUE(area.contains({0.0, 0.0}));
+  EXPECT_TRUE(area.contains({100.0, 50.0}));
+  EXPECT_FALSE(area.contains({100.1, 10.0}));
+  EXPECT_EQ(area.clamp({-5.0, 60.0}), (Vec2{0.0, 50.0}));
+  EXPECT_EQ(area.clamp({42.0, 7.0}), (Vec2{42.0, 7.0}));
+}
+
+TEST(AreaTest, DensityMatchesPaperScenario) {
+  // Table I: 50 devices in 100 m × 100 m.
+  EXPECT_DOUBLE_EQ(kPaperArea.density(50), 0.005);
+}
+
+TEST(Deployment, UniformStaysInAreaAndIsDeterministic) {
+  const Area area{200.0, 100.0};
+  Rng rng1(42), rng2(42);
+  const auto a = deploy_uniform(500, area, rng1);
+  const auto b = deploy_uniform(500, area, rng2);
+  EXPECT_EQ(a.size(), 500U);
+  EXPECT_EQ(a, b);
+  for (const Vec2& p : a) EXPECT_TRUE(area.contains(p));
+}
+
+TEST(Deployment, UniformCoversTheArea) {
+  Rng rng(1);
+  const auto points = deploy_uniform(4000, kPaperArea, rng);
+  // Quadrant counts should be roughly balanced.
+  int q[4] = {0, 0, 0, 0};
+  for (const Vec2& p : points) {
+    const int idx = (p.x > 50.0 ? 1 : 0) + (p.y > 50.0 ? 2 : 0);
+    ++q[idx];
+  }
+  for (const int c : q) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Deployment, PoissonCountFluctuates) {
+  Rng rng(2);
+  double total = 0.0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) total += static_cast<double>(
+      deploy_poisson(50.0, kPaperArea, rng).size());
+  EXPECT_NEAR(total / reps, 50.0, 3.0);
+}
+
+TEST(Deployment, ClusteredPointsNearParents) {
+  Rng rng(3);
+  const auto points = deploy_clustered(300, 3, 2.0, kPaperArea, rng);
+  EXPECT_EQ(points.size(), 300U);
+  for (const Vec2& p : points) EXPECT_TRUE(kPaperArea.contains(p));
+  // With spread 2 m and 3 clusters, the average nearest-neighbour distance
+  // should be far below a uniform deployment's (~5 m for 300 in 1 ha).
+  double nn_sum = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    double best = 1e18;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      best = std::min(best, distance(points[i], points[j]));
+    }
+    nn_sum += best;
+  }
+  EXPECT_LT(nn_sum / 50.0, 2.0);
+}
+
+TEST(Deployment, GridIsDeterministicAndInBounds) {
+  const auto a = deploy_grid(10, kPaperArea);
+  const auto b = deploy_grid(10, kPaperArea);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 10U);
+  for (const Vec2& p : a) EXPECT_TRUE(kPaperArea.contains(p));
+  EXPECT_TRUE(deploy_grid(0, kPaperArea).empty());
+  EXPECT_EQ(deploy_grid(1, kPaperArea).size(), 1U);
+}
+
+TEST(Deployment, ScaledAreaPreservesDensity) {
+  for (const std::size_t n : {50UL, 200UL, 800UL}) {
+    const Area area = scaled_area_for(n);
+    EXPECT_NEAR(area.density(n), kPaperArea.density(50), 1e-12) << "n=" << n;
+  }
+  // 50 devices keeps the exact paper square.
+  const Area base = scaled_area_for(50);
+  EXPECT_DOUBLE_EQ(base.width, 100.0);
+  EXPECT_DOUBLE_EQ(base.height, 100.0);
+}
+
+}  // namespace

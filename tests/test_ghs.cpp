@@ -1,0 +1,119 @@
+// Tests for the synchronous GHS rendition (src/graph/ghs.hpp).
+#include "graph/ghs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/mst.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace firefly::graph;
+
+Graph random_connected_graph(std::size_t n, firefly::util::Rng& rng) {
+  Graph g(n);
+  for (std::uint32_t v = 1; v < n; ++v) {
+    g.add_edge(v - 1, v, rng.uniform(1.0, 1000.0));
+  }
+  for (std::size_t i = 0; i < 3 * n; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform_index(n));
+    const auto v = static_cast<std::uint32_t>(rng.uniform_index(n));
+    if (u != v) g.add_edge(u, v, rng.uniform(1.0, 1000.0));
+  }
+  return g;
+}
+
+TEST(Ghs, MatchesKruskalOnDistinctWeights) {
+  firefly::util::Rng rng(31);
+  for (int trial = 0; trial < 12; ++trial) {
+    Graph g = random_connected_graph(50, rng);
+    const GhsResult r = ghs(g);
+    const MstResult k = kruskal(g);
+    EXPECT_TRUE(r.tree.spanning) << "trial " << trial;
+    EXPECT_NEAR(r.tree.total_weight, k.total_weight, 1e-6) << "trial " << trial;
+    EXPECT_TRUE(is_spanning_tree(g.vertex_count(), r.tree.edges));
+  }
+}
+
+TEST(Ghs, MaxOrientationBuildsMaximumTree) {
+  firefly::util::Rng rng(32);
+  Graph g = random_connected_graph(40, rng);
+  const GhsResult r = ghs(g, Orientation::kMax);
+  const MstResult k = kruskal(g, Orientation::kMax);
+  EXPECT_NEAR(r.tree.total_weight, k.total_weight, 1e-6);
+}
+
+TEST(Ghs, LevelsAreLogarithmicallyBounded) {
+  // A fragment of level L has >= 2^L members, so max level <= log2 n.
+  firefly::util::Rng rng(33);
+  for (const std::size_t n : {16UL, 128UL, 512UL}) {
+    Graph g = random_connected_graph(n, rng);
+    const GhsResult r = ghs(g);
+    EXPECT_LE(r.max_level,
+              static_cast<std::size_t>(std::ceil(std::log2(static_cast<double>(n)))))
+        << "n=" << n;
+  }
+}
+
+TEST(Ghs, MessageComplexityScalesAsNLogN) {
+  // GHS's bound is O(E + n log n); with E ~ 4n the empirical log-log slope
+  // of total messages vs n should sit well below quadratic.
+  firefly::util::Rng rng(34);
+  std::vector<double> ns, msgs;
+  for (const std::size_t n : {64UL, 128UL, 256UL, 512UL, 1024UL}) {
+    Graph g = random_connected_graph(n, rng);
+    const GhsResult r = ghs(g);
+    ns.push_back(static_cast<double>(n));
+    msgs.push_back(static_cast<double>(r.messages.total()));
+  }
+  const double slope = firefly::util::fit_loglog_slope(ns, msgs);
+  EXPECT_GT(slope, 0.8);
+  EXPECT_LT(slope, 1.5);
+}
+
+TEST(Ghs, MessageBreakdownIsConsistent) {
+  firefly::util::Rng rng(35);
+  Graph g = random_connected_graph(60, rng);
+  const GhsResult r = ghs(g);
+  const auto& m = r.messages;
+  EXPECT_EQ(m.total(), m.test + m.accept_reject + m.report + m.connect + m.initiate);
+  EXPECT_GT(m.test, 0U);
+  EXPECT_GT(m.connect, 0U);
+  EXPECT_GT(m.initiate, 0U);
+  // Every test gets a reply in the synchronous rendition.
+  EXPECT_EQ(m.test, m.accept_reject);
+}
+
+TEST(Ghs, EqualWeightsTerminate) {
+  Graph g(8);
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    for (std::uint32_t v = u + 1; v < 8; ++v) g.add_edge(u, v, 1.0);
+  }
+  const GhsResult r = ghs(g);
+  EXPECT_TRUE(r.tree.spanning);
+  EXPECT_EQ(r.tree.edges.size(), 7U);
+}
+
+TEST(Ghs, DisconnectedGraphGivesForest) {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 2.0);
+  const GhsResult r = ghs(g);
+  EXPECT_FALSE(r.tree.spanning);
+  EXPECT_EQ(r.tree.edges.size(), 4U);
+}
+
+TEST(Ghs, TrivialInputs) {
+  Graph empty(0);
+  EXPECT_TRUE(ghs(empty).tree.spanning);
+  Graph single(1);
+  EXPECT_TRUE(ghs(single).tree.spanning);
+  EXPECT_EQ(ghs(single).messages.total(), 0U);
+}
+
+}  // namespace

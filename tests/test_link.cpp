@@ -1,0 +1,87 @@
+// Tests for link-quality estimates (src/phy/link.hpp).
+#include "phy/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace firefly;
+using namespace firefly::util::literals;
+
+TEST(Link, SnrLinear) {
+  EXPECT_DOUBLE_EQ(phy::snr_linear(-94.0_dBm, -104.0_dBm), 10.0);
+  EXPECT_NEAR(phy::snr_linear(-104.0_dBm, -104.0_dBm), 1.0, 1e-12);
+  EXPECT_LT(phy::snr_linear(-110.0_dBm, -104.0_dBm), 1.0);
+}
+
+TEST(Link, ShannonRateKnownValues) {
+  // SNR = 1 (0 dB): 10 MHz × log2(2) = 10 Mbit/s.
+  EXPECT_NEAR(phy::shannon_rate_mbps(-104.0_dBm, -104.0_dBm, 10e6), 10.0, 1e-9);
+  // SNR = 3 (≈4.77 dB): log2(4) = 2 → 20 Mbit/s.
+  EXPECT_NEAR(
+      phy::shannon_rate_mbps(util::Dbm{-104.0 + 10.0 * std::log10(3.0)}, -104.0_dBm, 10e6),
+      20.0, 1e-9);
+}
+
+TEST(Link, ShannonRateMonotoneInSignal) {
+  double prev = 0.0;
+  for (double rx = -110.0; rx <= -40.0; rx += 5.0) {
+    const double rate = phy::shannon_rate_mbps(util::Dbm{rx}, -104.0_dBm, 10e6);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(Link, OutageClosedFormMatchesMonteCarlo) {
+  const util::Dbm mean{-80.0};
+  const util::Dbm required{-90.0};
+  const util::Dbm noise{-104.0};
+  const double analytic = phy::rayleigh_outage(mean, required, noise);
+  util::Rng rng(3);
+  int outages = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double gain = rng.exponential(1.0);
+    const double rx = mean.value + 10.0 * std::log10(gain);
+    if (rx < required.value) ++outages;
+  }
+  EXPECT_NEAR(outages / static_cast<double>(n), analytic, 0.005);
+}
+
+TEST(Link, OutageLimits) {
+  // Strong link, low requirement: outage → small; hopeless link: outage 1.
+  EXPECT_LT(phy::rayleigh_outage(-60.0_dBm, -95.0_dBm, -104.0_dBm), 0.01);
+  EXPECT_DOUBLE_EQ(phy::rayleigh_outage(-130.0_dBm, -95.0_dBm, -104.0_dBm), 1.0);
+  // Requirement equal to the mean: 1 − e^{−1} ≈ 0.632.
+  EXPECT_NEAR(phy::rayleigh_outage(-90.0_dBm, -90.0_dBm, -104.0_dBm),
+              1.0 - std::exp(-1.0), 1e-9);
+}
+
+TEST(Link, ErgodicRateBelowAwgnRateAtHighSnr) {
+  // Jensen: E[log(1+γg)] < log(1+γ) for unit-mean g at any γ.
+  const double awgn = phy::shannon_rate_mbps(-70.0_dBm, -104.0_dBm, 10e6);
+  const double ergodic = phy::rayleigh_ergodic_rate_mbps(-70.0_dBm, -104.0_dBm, 10e6);
+  EXPECT_LT(ergodic, awgn);
+  EXPECT_GT(ergodic, 0.7 * awgn);  // but within the known ~−2.5 dB penalty
+}
+
+TEST(Link, ErgodicRateMatchesMonteCarlo) {
+  const util::Dbm mean{-85.0};
+  const util::Dbm noise{-104.0};
+  const double quad = phy::rayleigh_ergodic_rate_mbps(mean, noise, 10e6);
+  util::Rng rng(7);
+  double sum = 0.0;
+  const int n = 400000;
+  const double snr = phy::snr_linear(mean, noise);
+  for (int i = 0; i < n; ++i) {
+    sum += std::log2(1.0 + snr * rng.exponential(1.0));
+  }
+  const double mc = 10e6 * (sum / n) / 1e6;
+  EXPECT_NEAR(quad, mc, 0.01 * mc);
+}
+
+}  // namespace

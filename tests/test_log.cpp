@@ -1,0 +1,51 @@
+// Tests for the leveled logger (src/util/log.hpp).
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace firefly::util;
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LogTest, MacroCompilesAndFiltersBelowThreshold) {
+  set_log_level(LogLevel::kError);
+  // Should not crash and should not evaluate when filtered; we can't easily
+  // capture clog here, so just exercise both paths.
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  FIREFLY_LOG(kDebug) << count();  // filtered: count() must not run
+  EXPECT_EQ(evaluations, 0);
+  FIREFLY_LOG(kError) << count();  // emitted: count() runs
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, EmitRespectsThreshold) {
+  set_log_level(LogLevel::kOff);
+  log_emit(LogLevel::kError, "should be dropped");  // no crash, no output
+  SUCCEED();
+}
+
+}  // namespace

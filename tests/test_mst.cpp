@@ -1,0 +1,147 @@
+// Tests for the reference MST algorithms (src/graph/mst.hpp).
+#include "graph/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph.hpp"
+#include "graph/union_find.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace firefly::graph;
+
+Graph small_known_graph() {
+  // Classic example with MST weight 1+2+3 = 6 (edges 0-1, 1-2, 1-3).
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(1, 3, 3.0);
+  g.add_edge(0, 2, 4.0);
+  g.add_edge(2, 3, 5.0);
+  return g;
+}
+
+Graph random_graph(std::size_t n, double edge_prob, firefly::util::Rng& rng,
+                   bool distinct_weights = true) {
+  Graph g(n);
+  double w = 1.0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (rng.uniform() < edge_prob) {
+        const double weight = distinct_weights ? (w += 1.0) + rng.uniform() * 0.5
+                                               : std::floor(rng.uniform(1.0, 5.0));
+        g.add_edge(u, v, weight);
+      }
+    }
+  }
+  return g;
+}
+
+TEST(Kruskal, KnownGraph) {
+  const MstResult r = kruskal(small_known_graph());
+  EXPECT_TRUE(r.spanning);
+  EXPECT_EQ(r.edges.size(), 3U);
+  EXPECT_DOUBLE_EQ(r.total_weight, 6.0);
+  EXPECT_TRUE(is_spanning_tree(4, r.edges));
+}
+
+TEST(Prim, KnownGraph) {
+  const MstResult r = prim(small_known_graph());
+  EXPECT_TRUE(r.spanning);
+  EXPECT_DOUBLE_EQ(r.total_weight, 6.0);
+  EXPECT_TRUE(is_spanning_tree(4, r.edges));
+}
+
+TEST(Mst, MaximumOrientationPicksHeavyEdges) {
+  // The paper's tree selects the heaviest (strongest-PS) edges: on the
+  // known graph the maximum spanning tree uses 5+4+3 = 12.
+  const MstResult k = kruskal(small_known_graph(), Orientation::kMax);
+  const MstResult p = prim(small_known_graph(), Orientation::kMax);
+  EXPECT_DOUBLE_EQ(k.total_weight, 12.0);
+  EXPECT_DOUBLE_EQ(p.total_weight, 12.0);
+  EXPECT_TRUE(is_spanning_tree(4, k.edges));
+}
+
+TEST(Mst, KruskalEqualsPrimOnRandomGraphs) {
+  firefly::util::Rng rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = random_graph(40, 0.2, rng);
+    const MstResult k = kruskal(g);
+    const MstResult p = prim(g);
+    EXPECT_EQ(k.spanning, p.spanning);
+    if (k.spanning) {
+      EXPECT_NEAR(k.total_weight, p.total_weight, 1e-9) << "trial " << trial;
+      EXPECT_TRUE(is_spanning_tree(g.vertex_count(), k.edges));
+      EXPECT_TRUE(is_spanning_tree(g.vertex_count(), p.edges));
+    }
+  }
+}
+
+TEST(Mst, MaxOrientationAgreesAcrossAlgorithms) {
+  firefly::util::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = random_graph(30, 0.3, rng);
+    const MstResult k = kruskal(g, Orientation::kMax);
+    const MstResult p = prim(g, Orientation::kMax);
+    if (k.spanning) {
+      EXPECT_NEAR(k.total_weight, p.total_weight, 1e-9);
+    }
+  }
+}
+
+TEST(Mst, DisconnectedGraphReportsNonSpanning) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 2.0);
+  const MstResult k = kruskal(g);
+  EXPECT_FALSE(k.spanning);
+  EXPECT_EQ(k.edges.size(), 2U);  // spanning forest
+  const MstResult p = prim(g);
+  EXPECT_FALSE(p.spanning);  // Prim only covers vertex 0's component
+}
+
+TEST(Mst, SingleVertexAndEmpty) {
+  Graph single(1);
+  EXPECT_TRUE(kruskal(single).spanning);
+  EXPECT_TRUE(prim(single).spanning);
+  EXPECT_TRUE(kruskal(single).edges.empty());
+  Graph empty(0);
+  EXPECT_TRUE(kruskal(empty).spanning);
+  EXPECT_TRUE(prim(empty).spanning);
+}
+
+TEST(Mst, TiesBrokenDeterministically) {
+  // All weights equal: both runs of kruskal give the identical tree.
+  Graph g(5);
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    for (std::uint32_t v = u + 1; v < 5; ++v) g.add_edge(u, v, 1.0);
+  }
+  const MstResult a = kruskal(g);
+  const MstResult b = kruskal(g);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i) EXPECT_EQ(a.edges[i], b.edges[i]);
+}
+
+TEST(Mst, MstWeightIsMinimalAgainstRandomTrees) {
+  // Property: no random spanning tree beats the MST.
+  firefly::util::Rng rng(12);
+  Graph g = random_graph(12, 0.6, rng, /*distinct_weights=*/false);
+  if (!kruskal(g).spanning) GTEST_SKIP();
+  const double best = kruskal(g).total_weight;
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random spanning tree via randomised Kruskal on shuffled edges.
+    auto edges = g.edges();
+    rng.shuffle(edges.begin(), edges.end());
+    UnionFind uf(g.vertex_count());
+    double total = 0.0;
+    for (const Edge& e : edges) {
+      if (uf.unite(e.u, e.v)) total += e.weight;
+    }
+    EXPECT_GE(total + 1e-9, best);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Tests for the standalone continuous-time PCO network
+// (src/pco/network_pco.hpp): the Mirollo–Strogatz theorem and topology
+// effects the paper builds on.
+#include "pco/network_pco.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace firefly;
+using graph::Graph;
+using pco::PcoNetwork;
+using pco::PcoNetworkConfig;
+using pco::PcoRunResult;
+
+Graph full_mesh(std::size_t n) {
+  Graph g(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) g.add_edge(u, v, 1.0);
+  }
+  return g;
+}
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (std::uint32_t v = 1; v < n; ++v) g.add_edge(v - 1, v, 1.0);
+  return g;
+}
+
+Graph star_graph(std::size_t n) {
+  Graph g(n);
+  for (std::uint32_t v = 1; v < n; ++v) g.add_edge(0, v, 1.0);
+  return g;
+}
+
+class MirolloStrogatzTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MirolloStrogatzTest, FullMeshAlwaysConverges) {
+  // The M&S theorem: full mesh + α > 1, β > 0 ⇒ convergence (for almost
+  // every initial condition).
+  const auto [n, epsilon] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n * 1000 + int(epsilon * 1000)));
+  PcoNetworkConfig config;
+  config.prc = pco::PrcParams{3.0, epsilon};
+  ASSERT_TRUE(config.prc.valid_for_convergence());
+  Graph mesh = full_mesh(static_cast<std::size_t>(n));
+  PcoNetwork net(mesh, config, rng);
+  const PcoRunResult result = net.run();
+  EXPECT_TRUE(result.converged) << "n=" << n << " eps=" << epsilon;
+  EXPECT_LE(result.final_spread, config.spread_tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepSizeAndCoupling, MirolloStrogatzTest,
+                         ::testing::Combine(::testing::Values(2, 5, 20, 50),
+                                            ::testing::Values(0.02, 0.1, 0.3)));
+
+TEST(PcoNetwork, StrongerCouplingConvergesFaster) {
+  util::Rng rng1(7), rng2(7);
+  Graph mesh = full_mesh(30);
+  PcoNetworkConfig weak;
+  weak.prc = pco::PrcParams{3.0, 0.01};
+  PcoNetworkConfig strong;
+  strong.prc = pco::PrcParams{3.0, 0.3};
+  const auto weak_result = PcoNetwork(mesh, weak, rng1).run();
+  const auto strong_result = PcoNetwork(mesh, strong, rng2).run();
+  ASSERT_TRUE(weak_result.converged);
+  ASSERT_TRUE(strong_result.converged);
+  EXPECT_LT(strong_result.convergence_time_s, weak_result.convergence_time_s);
+}
+
+TEST(PcoNetwork, TreeTopologyConverges) {
+  // The paper's claim (via [17]): synchronisation is achieved on trees.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    util::Rng rng(seed);
+    Graph star = star_graph(20);
+    PcoNetworkConfig config;
+    config.prc = pco::PrcParams{3.0, 0.3};
+    config.max_time_s = 2000.0;
+    const auto result = PcoNetwork(star, config, rng).run();
+    EXPECT_TRUE(result.converged) << "seed " << seed;
+  }
+}
+
+TEST(PcoNetwork, PathSlowerThanMesh) {
+  // Sparse coupling costs convergence time — the trade the ST design makes
+  // deliberately and compensates for with merge-time phase adoption.
+  util::Rng rng1(11), rng2(11);
+  PcoNetworkConfig config;
+  config.prc = pco::PrcParams{3.0, 0.3};
+  config.max_time_s = 5000.0;
+  const auto mesh_result = PcoNetwork(full_mesh(16), config, rng1).run();
+  const auto path_result = PcoNetwork(path_graph(16), config, rng2).run();
+  ASSERT_TRUE(mesh_result.converged);
+  if (path_result.converged) {
+    EXPECT_GE(path_result.convergence_time_s, mesh_result.convergence_time_s);
+  }
+}
+
+TEST(PcoNetwork, PulseCountMatchesFiringAccounting) {
+  util::Rng rng(13);
+  Graph mesh = full_mesh(10);
+  PcoNetworkConfig config;
+  config.prc = pco::PrcParams{3.0, 0.2};
+  PcoNetwork net(mesh, config, rng);
+  const auto result = net.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.total_firings, 0U);
+  // Can't fire more often than once per oscillator per cascade instant;
+  // loose sanity bound: firings <= n * (cycles + 1).
+  EXPECT_LE(result.total_firings, 10 * (result.cycles + 1));
+}
+
+TEST(PcoNetwork, SingleOscillatorConvergesImmediately) {
+  util::Rng rng(17);
+  Graph g(1);
+  PcoNetworkConfig config;
+  const auto result = PcoNetwork(g, config, rng).run();
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(PcoNetwork, EmptyNetworkIsTriviallyConverged) {
+  util::Rng rng(19);
+  Graph g(0);
+  PcoNetworkConfig config;
+  EXPECT_TRUE(PcoNetwork(g, config, rng).run().converged);
+}
+
+TEST(PcoNetwork, GivesUpAtMaxTime) {
+  // Two disconnected oscillators can never align (except by luck of the
+  // draw): the run must terminate at max_time.
+  util::Rng rng(23);
+  Graph g(2);  // no edges
+  PcoNetworkConfig config;
+  config.max_time_s = 5.0;
+  const auto result = PcoNetwork(g, config, rng).run();
+  if (!result.converged) {
+    EXPECT_GE(result.convergence_time_s, 0.0);
+    EXPECT_LE(result.convergence_time_s, 5.0 + config.period_s);
+  }
+}
+
+TEST(PcoNetwork, RefractoryStillConverges) {
+  util::Rng rng(29);
+  Graph mesh = full_mesh(20);
+  PcoNetworkConfig config;
+  config.prc = pco::PrcParams{3.0, 0.2};
+  config.refractory_s = 0.01;  // 10% of the period
+  const auto result = PcoNetwork(mesh, config, rng).run();
+  EXPECT_TRUE(result.converged);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for integrate-and-fire oscillators (src/pco/oscillator.hpp).
+#include "pco/oscillator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace firefly::pco;
+
+constexpr PrcParams kPrc{3.0, 0.1};
+
+TEST(Oscillator, FiresEveryPeriodWhenUncoupled) {
+  // eq. (3): dθ/dt = θ_th/T — an uncoupled oscillator fires every T.
+  Oscillator osc(0.1, kPrc, 0.0);
+  int fires = 0;
+  for (int step = 0; step < 1000; ++step) {
+    if (osc.advance(0.001)) {
+      ++fires;
+      osc.on_fired();
+    }
+  }
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(Oscillator, TimeToFire) {
+  Oscillator osc(2.0, kPrc, 0.25);
+  EXPECT_DOUBLE_EQ(osc.time_to_fire(), 1.5);
+  osc.advance(0.5);
+  EXPECT_DOUBLE_EQ(osc.time_to_fire(), 1.0);
+}
+
+TEST(Oscillator, PulseAppliesPrc) {
+  Oscillator osc(1.0, kPrc, 0.5);
+  const double before = osc.phase();
+  EXPECT_FALSE(osc.receive_pulse());
+  EXPECT_NEAR(osc.phase(), apply_prc(before, kPrc), 1e-12);
+}
+
+TEST(Oscillator, PulseAtHighPhaseAbsorbs) {
+  Oscillator osc(1.0, kPrc, 0.95);
+  EXPECT_TRUE(osc.receive_pulse());
+  EXPECT_DOUBLE_EQ(osc.phase(), 1.0);
+  osc.on_fired();
+  EXPECT_DOUBLE_EQ(osc.phase(), 0.0);
+}
+
+TEST(Oscillator, RefractoryBlocksPulses) {
+  Oscillator osc(1.0, kPrc, 0.0);
+  osc.set_refractory_window(0.2);
+  osc.on_fired();
+  EXPECT_TRUE(osc.refractory());
+  const double before = osc.phase();
+  EXPECT_FALSE(osc.receive_pulse());
+  EXPECT_DOUBLE_EQ(osc.phase(), before);  // no jump while refractory
+  osc.advance(0.25);
+  EXPECT_FALSE(osc.refractory());
+  osc.receive_pulse();
+  EXPECT_GT(osc.phase(), 0.25);  // jump applied now
+}
+
+TEST(Oscillator, SetPhase) {
+  Oscillator osc(1.0, kPrc, 0.0);
+  osc.set_phase(0.7);
+  EXPECT_DOUBLE_EQ(osc.phase(), 0.7);
+}
+
+TEST(SlotOscillator, CounterFormulation) {
+  // The paper's Section III description: counter increments per slot,
+  // fires at the threshold, resets to zero.
+  SlotOscillator osc(10, kPrc, 0);
+  int fires = 0;
+  for (int slot = 0; slot < 100; ++slot) {
+    if (osc.tick()) {
+      ++fires;
+      osc.on_fired();
+    }
+  }
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(SlotOscillator, InitialCounterShiftsFirstFire) {
+  SlotOscillator osc(10, kPrc, 7);
+  int ticks_to_fire = 0;
+  while (!osc.tick()) ++ticks_to_fire;
+  EXPECT_EQ(ticks_to_fire, 2);  // 7 -> 8 -> 9 -> fires on the 3rd tick
+}
+
+TEST(SlotOscillator, PulseJumpsCounterForward) {
+  SlotOscillator osc(100, kPrc, 50);
+  EXPECT_FALSE(osc.receive_pulse());
+  // θ = 0.5 → α·0.5 + β ≈ 0.567: counter jumps to ceil(56.7) = 57.
+  EXPECT_GT(osc.counter(), 50U);
+  EXPECT_LT(osc.counter(), 100U);
+}
+
+TEST(SlotOscillator, PulseNeverMovesCounterBackwards) {
+  SlotOscillator osc(100, PrcParams{3.0, 0.001}, 99);
+  const auto before = osc.counter();
+  osc.receive_pulse();
+  EXPECT_GE(osc.counter(), before);
+}
+
+TEST(SlotOscillator, AbsorptionAtHighCounter) {
+  SlotOscillator osc(100, kPrc, 95);
+  EXPECT_TRUE(osc.receive_pulse());
+  osc.on_fired();
+  EXPECT_EQ(osc.counter(), 0U);
+}
+
+TEST(SlotOscillator, RefractorySlots) {
+  SlotOscillator osc(100, kPrc, 0);
+  osc.set_refractory_slots(3);
+  osc.on_fired();
+  EXPECT_TRUE(osc.refractory());
+  EXPECT_FALSE(osc.receive_pulse());
+  EXPECT_EQ(osc.counter(), 0U);
+  osc.tick();
+  osc.tick();
+  osc.tick();
+  EXPECT_FALSE(osc.refractory());
+}
+
+TEST(SlotOscillator, PhaseIsCounterOverPeriod) {
+  SlotOscillator osc(200, kPrc, 50);
+  EXPECT_DOUBLE_EQ(osc.phase(), 0.25);
+  osc.set_counter(150);
+  EXPECT_DOUBLE_EQ(osc.phase(), 0.75);
+}
+
+}  // namespace

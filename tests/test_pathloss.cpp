@@ -1,0 +1,112 @@
+// Tests for path-loss models (src/phy/pathloss.hpp), pinned to the paper's
+// Table I formulas.
+#include "phy/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace firefly::phy;
+using firefly::util::Db;
+
+TEST(PaperDualSlope, TableOneFormulaNearField) {
+  PaperDualSlope model;
+  // PL = 4.35 + 25·log10(d) for d < 6.
+  EXPECT_NEAR(model.loss(1.0).value, 4.35, 1e-12);
+  EXPECT_NEAR(model.loss(2.0).value, 4.35 + 25.0 * std::log10(2.0), 1e-12);
+  EXPECT_NEAR(model.loss(5.9).value, 4.35 + 25.0 * std::log10(5.9), 1e-12);
+}
+
+TEST(PaperDualSlope, TableOneFormulaFarField) {
+  PaperDualSlope model;
+  // PL = 40.0 + 40·log10(d) for d >= 6.
+  EXPECT_NEAR(model.loss(6.0).value, 40.0 + 40.0 * std::log10(6.0), 1e-12);
+  EXPECT_NEAR(model.loss(10.0).value, 80.0, 1e-12);
+  EXPECT_NEAR(model.loss(100.0).value, 120.0, 1e-12);
+}
+
+TEST(PaperDualSlope, MonotoneNonDecreasing) {
+  PaperDualSlope model;
+  double prev = -1e18;
+  for (double d = 0.1; d < 500.0; d *= 1.07) {
+    const double pl = model.loss(d).value;
+    EXPECT_GE(pl, prev) << "at d=" << d;
+    prev = pl;
+  }
+}
+
+TEST(PaperDualSlope, ClampsBelowMinDistance) {
+  PaperDualSlope model;
+  EXPECT_DOUBLE_EQ(model.loss(0.0).value, model.loss(model.min_distance()).value);
+  EXPECT_DOUBLE_EQ(model.loss(1e-9).value, model.loss(model.min_distance()).value);
+}
+
+TEST(PaperDualSlope, InversionRoundTripsBothRegimes) {
+  PaperDualSlope model;
+  for (const double d : {0.5, 2.0, 5.0, 6.0, 10.0, 50.0, 89.0, 300.0}) {
+    const Db pl = model.loss(d);
+    EXPECT_NEAR(model.distance_for_loss(pl), d, 1e-9) << "d=" << d;
+  }
+}
+
+TEST(PaperDualSlope, GapLossesSnapToBreakpoint) {
+  PaperDualSlope model;
+  // Losses strictly between the near-field value at 6 m (~23.8 dB) and the
+  // far-field value at 6 m (~71.1 dB) have no preimage.
+  EXPECT_DOUBLE_EQ(model.distance_for_loss(Db{40.0}), PaperDualSlope::kBreakpoint);
+  EXPECT_DOUBLE_EQ(model.distance_for_loss(Db{60.0}), PaperDualSlope::kBreakpoint);
+}
+
+TEST(PaperDualSlope, PaperLinkBudgetRange) {
+  // 23 dBm - (-95 dBm) = 118 dB budget → d = 10^((118-40)/40) ≈ 89.1 m.
+  PaperDualSlope model;
+  EXPECT_NEAR(model.distance_for_loss(Db{118.0}), std::pow(10.0, 78.0 / 40.0), 1e-9);
+}
+
+TEST(LogDistance, MatchesEquationSeven) {
+  // p** = p* + 10·n·log10(r/r0): loss grows by 10·n dB per decade.
+  LogDistance model(4.0, 1.0, Db{40.0});
+  EXPECT_NEAR(model.loss(1.0).value, 40.0, 1e-12);
+  EXPECT_NEAR(model.loss(10.0).value, 80.0, 1e-12);
+  EXPECT_NEAR(model.loss(100.0).value, 120.0, 1e-12);
+  EXPECT_DOUBLE_EQ(model.exponent(), 4.0);
+}
+
+TEST(LogDistance, IndoorOutdoorExponents) {
+  // Section III: n = 2 indoor, n = 4 outdoor.
+  LogDistance indoor(2.0);
+  LogDistance outdoor(4.0);
+  const double d = 50.0;
+  EXPECT_LT(indoor.loss(d).value, outdoor.loss(d).value);
+  EXPECT_NEAR(outdoor.loss(d).value - indoor.loss(d).value,
+              10.0 * 2.0 * std::log10(d), 1e-9);
+}
+
+TEST(LogDistance, InversionRoundTrip) {
+  LogDistance model(3.5, 2.0, Db{47.0});
+  for (const double d : {0.5, 2.0, 20.0, 200.0}) {
+    EXPECT_NEAR(model.distance_for_loss(model.loss(d)), d, 1e-9);
+  }
+}
+
+TEST(FreeSpace, FriisAtTwoGigahertz) {
+  FreeSpace model(2.0e9);
+  // Friis at 1 m, 2 GHz: 20·log10(2e9) - 147.55 ≈ 38.47 dB.
+  EXPECT_NEAR(model.loss(1.0).value, 20.0 * std::log10(2.0e9) - 147.55, 1e-9);
+  // +20 dB per decade of distance.
+  EXPECT_NEAR(model.loss(10.0).value - model.loss(1.0).value, 20.0, 1e-9);
+  EXPECT_NEAR(model.distance_for_loss(model.loss(25.0)), 25.0, 1e-9);
+}
+
+TEST(Factories, ProduceExpectedModels) {
+  const auto paper = make_paper_model();
+  EXPECT_EQ(paper->name(), "paper-dual-slope");
+  const auto outdoor = make_outdoor_log_distance();
+  EXPECT_NE(outdoor->name().find("log-distance"), std::string::npos);
+  // Anchored so the two agree at 10 m in the far field.
+  EXPECT_NEAR(paper->loss(10.0).value, outdoor->loss(10.0).value, 1e-9);
+}
+
+}  // namespace

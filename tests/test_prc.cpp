@@ -1,0 +1,92 @@
+// Tests for the Mirollo–Strogatz PRC (src/pco/prc.hpp), eq. (5).
+#include "pco/prc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace firefly::pco;
+
+TEST(Prc, EquationFiveValues) {
+  const PrcParams p{3.0, 0.05};
+  EXPECT_NEAR(p.alpha(), std::exp(0.15), 1e-12);
+  EXPECT_NEAR(p.beta(), (std::exp(0.15) - 1.0) / (std::exp(3.0) - 1.0), 1e-12);
+}
+
+TEST(Prc, ConvergenceConditionAlphaAboveOneBetaPositive) {
+  // Mirollo–Strogatz: a > 0 and ε > 0 ⇒ α > 1 and β > 0 ⇒ convergence.
+  for (const double a : {0.5, 1.0, 3.0, 8.0}) {
+    for (const double eps : {0.01, 0.05, 0.2}) {
+      const PrcParams p{a, eps};
+      EXPECT_TRUE(p.valid_for_convergence());
+      EXPECT_GT(p.alpha(), 1.0);
+      EXPECT_GT(p.beta(), 0.0);
+    }
+  }
+  EXPECT_FALSE((PrcParams{3.0, 0.0}).valid_for_convergence());
+  EXPECT_FALSE((PrcParams{-1.0, 0.1}).valid_for_convergence());
+}
+
+TEST(Prc, ReturnMapSaturatesAtOne) {
+  const PrcParams p{3.0, 0.5};
+  EXPECT_DOUBLE_EQ(apply_prc(1.0, p), 1.0);
+  EXPECT_DOUBLE_EQ(apply_prc(0.99, p), 1.0);
+  EXPECT_LT(apply_prc(0.0, p), 1.0);
+}
+
+TEST(Prc, ReturnMapIsMonotone) {
+  const PrcParams p{3.0, 0.05};
+  double prev = -1.0;
+  for (double theta = 0.0; theta <= 1.0; theta += 0.01) {
+    const double jumped = apply_prc(theta, p);
+    EXPECT_GE(jumped, prev);
+    EXPECT_GE(jumped, theta);  // excitatory: never decreases the phase
+    prev = jumped;
+  }
+}
+
+TEST(Prc, PhaseResponseAtZeroIsBeta) {
+  const PrcParams p{3.0, 0.05};
+  EXPECT_NEAR(phase_response(0.0, p), p.beta(), 1e-12);
+}
+
+TEST(Prc, PhaseResponseGrowsWithPhaseBelowSaturation) {
+  // Δθ(θ) = (α−1)θ + β is increasing until the min() clamps it.
+  const PrcParams p{3.0, 0.05};
+  const double threshold = absorption_threshold(p);
+  double prev = 0.0;
+  for (double theta = 0.0; theta < threshold; theta += 0.02) {
+    const double response = phase_response(theta, p);
+    EXPECT_GE(response, prev - 1e-12);
+    prev = response;
+  }
+}
+
+TEST(Prc, AbsorptionThresholdSeparatesFiring) {
+  const PrcParams p{3.0, 0.05};
+  const double theta_star = absorption_threshold(p);
+  EXPECT_GT(theta_star, 0.0);
+  EXPECT_LT(theta_star, 1.0);
+  EXPECT_DOUBLE_EQ(apply_prc(theta_star, p), 1.0);
+  EXPECT_LT(apply_prc(theta_star - 0.01, p), 1.0);
+}
+
+TEST(Prc, StrongCouplingAbsorbsEverything) {
+  // β >= 1 means even phase 0 fires immediately.
+  const PrcParams p{0.1, 30.0};
+  EXPECT_DOUBLE_EQ(absorption_threshold(p), 0.0);
+  EXPECT_DOUBLE_EQ(apply_prc(0.0, p), 1.0);
+}
+
+TEST(Prc, StrongerCouplingJumpsFurther) {
+  const PrcParams weak{3.0, 0.01};
+  const PrcParams strong{3.0, 0.2};
+  for (double theta = 0.1; theta < 0.8; theta += 0.1) {
+    EXPECT_GT(apply_prc(theta, strong), apply_prc(theta, weak));
+  }
+  EXPECT_LT(absorption_threshold(strong), absorption_threshold(weak));
+}
+
+}  // namespace

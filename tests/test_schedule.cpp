@@ -1,0 +1,135 @@
+// Tests for the TDMA scheduler (src/core/schedule.hpp).
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/scenario.hpp"
+#include "core/st.hpp"
+#include "phy/channel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace firefly;
+using core::build_tdma_schedule;
+using core::TdmaSchedule;
+using Link = std::pair<std::uint32_t, std::uint32_t>;
+
+std::unique_ptr<phy::Channel> clean_channel() {
+  return std::make_unique<phy::Channel>(
+      phy::RadioParams{}, std::make_unique<phy::PaperDualSlope>(),
+      std::make_unique<phy::NoShadowing>(), std::make_unique<phy::NoFading>(),
+      util::Rng(1));
+}
+
+TEST(Schedule, EmptyLinkSet) {
+  auto channel = clean_channel();
+  const TdmaSchedule s = build_tdma_schedule({}, {}, *channel);
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.frame_slots, 0U);
+  EXPECT_DOUBLE_EQ(s.aggregate_throughput_mbps(), 0.0);
+}
+
+TEST(Schedule, SingleLinkGetsOneSlot) {
+  auto channel = clean_channel();
+  const std::vector<geo::Vec2> pos{{0.0, 0.0}, {20.0, 0.0}};
+  const TdmaSchedule s = build_tdma_schedule({{0, 1}}, pos, *channel);
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.frame_slots, 1U);
+  EXPECT_GT(s.links[0].rate_mbps, 0.0);
+}
+
+TEST(Schedule, SharedEndpointLinksSerialise) {
+  // A star: three links from device 0 must occupy three distinct slots.
+  auto channel = clean_channel();
+  const std::vector<geo::Vec2> pos{{50.0, 50.0}, {60.0, 50.0}, {50.0, 60.0}, {40.0, 50.0}};
+  const TdmaSchedule s =
+      build_tdma_schedule({{0, 1}, {0, 2}, {0, 3}}, pos, *channel);
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.frame_slots, 3U);
+  std::set<std::uint32_t> slots;
+  for (const auto& link : s.links) slots.insert(link.slot);
+  EXPECT_EQ(slots.size(), 3U);
+}
+
+TEST(Schedule, FarApartLinksShareASlot) {
+  // Two links separated by 100 km: zero interference, same slot.
+  auto channel = clean_channel();
+  const std::vector<geo::Vec2> pos{
+      {0.0, 0.0}, {10.0, 0.0}, {100000.0, 0.0}, {100010.0, 0.0}};
+  const TdmaSchedule s = build_tdma_schedule({{0, 1}, {2, 3}}, pos, *channel);
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.frame_slots, 1U);
+  EXPECT_EQ(s.links[0].slot, s.links[1].slot);
+  EXPECT_EQ(s.conflict_edges, 0U);
+}
+
+TEST(Schedule, NearbyLinksConflictPhysically) {
+  // Disjoint endpoints but 30 m apart: the foreign transmitter is easily
+  // audible at the other receiver, so the links must serialise.
+  auto channel = clean_channel();
+  const std::vector<geo::Vec2> pos{{0.0, 0.0}, {10.0, 0.0}, {0.0, 30.0}, {10.0, 30.0}};
+  const TdmaSchedule s = build_tdma_schedule({{0, 1}, {2, 3}}, pos, *channel);
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.frame_slots, 2U);
+  EXPECT_EQ(s.conflict_edges, 1U);
+}
+
+TEST(Schedule, GreedyBoundHolds) {
+  // Random dense links in the Table I box: colours <= max degree + 1.
+  auto channel = clean_channel();
+  util::Rng rng(9);
+  std::vector<geo::Vec2> pos;
+  for (int i = 0; i < 40; ++i) {
+    pos.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  std::vector<Link> links;
+  for (std::uint32_t i = 0; i + 1 < 40; i += 2) links.push_back({i, i + 1});
+  const TdmaSchedule s = build_tdma_schedule(links, pos, *channel);
+  EXPECT_TRUE(s.valid());
+  EXPECT_LE(s.frame_slots, s.max_conflict_degree + 1);
+  EXPECT_GE(s.frame_slots, 1U);
+}
+
+TEST(Schedule, ThroughputAccountsForFrameSharing) {
+  // Serialising two equal links across 2 slots halves the aggregate vs the
+  // sum of rates.
+  auto channel = clean_channel();
+  const std::vector<geo::Vec2> pos{{0.0, 0.0}, {10.0, 0.0}, {0.0, 30.0}, {10.0, 30.0}};
+  const TdmaSchedule s = build_tdma_schedule({{0, 1}, {2, 3}}, pos, *channel);
+  const double rate_sum = s.links[0].rate_mbps + s.links[1].rate_mbps;
+  EXPECT_NEAR(s.aggregate_throughput_mbps(), rate_sum / 2.0, 1e-9);
+}
+
+TEST(Schedule, SchedulesTheStTree) {
+  // End-to-end: run ST, schedule the tree it grew, verify the schedule.
+  core::ScenarioConfig config;
+  config.n = 40;
+  config.seed = 17;
+  config.area_policy = core::AreaPolicy::kFixed;
+  auto positions = core::deploy(config);
+  core::StEngine engine(positions, config.protocol, config.radio, config.seed);
+  const auto metrics = engine.run();
+  ASSERT_TRUE(metrics.converged);
+
+  std::vector<Link> tree_links;
+  for (const auto& d : engine.devices()) {
+    for (const std::uint32_t other : d.tree_neighbors) {
+      if (d.id < other) tree_links.push_back({d.id, other});
+    }
+  }
+  ASSERT_GE(tree_links.size(), 39U);
+
+  auto channel = phy::make_paper_channel(config.seed, config.radio);
+  const TdmaSchedule s = build_tdma_schedule(tree_links, positions, *channel);
+  EXPECT_TRUE(s.valid());
+  EXPECT_GT(s.aggregate_throughput_mbps(), 0.0);
+  // In a single collision domain (fixed 100 m box) most links conflict:
+  // the frame is long.
+  EXPECT_GT(s.frame_slots, 5U);
+}
+
+}  // namespace

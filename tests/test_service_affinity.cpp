@@ -1,0 +1,69 @@
+// Tests for the service-affinity extension: biasing ST's heavy-edge choice
+// toward same-service neighbours builds service-homophilous trees (the
+// paper's "same service interest among devices" goal as a tunable).
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace firefly;
+
+core::ScenarioConfig affinity_config(double bias_db, std::uint64_t seed) {
+  core::ScenarioConfig config;
+  config.n = 60;
+  config.seed = seed;
+  config.area_policy = core::AreaPolicy::kFixed;
+  config.protocol.service_bias_db = bias_db;
+  return config;
+}
+
+TEST(ServiceAffinity, ZeroBiasGivesBaselineAffinity) {
+  // With 4 uniformly assigned services and no bias, roughly a quarter of
+  // tree edges join same-service devices.
+  double affinity = 0.0;
+  const int seeds = 4;
+  for (int s = 0; s < seeds; ++s) {
+    const auto m = core::run_trial(core::Protocol::kSt, affinity_config(0.0, 100 + s));
+    EXPECT_TRUE(m.converged);
+    affinity += m.tree_service_affinity;
+  }
+  affinity /= seeds;
+  EXPECT_GT(affinity, 0.10);
+  EXPECT_LT(affinity, 0.45);
+}
+
+TEST(ServiceAffinity, BiasRaisesAffinity) {
+  double base = 0.0, biased = 0.0;
+  const int seeds = 4;
+  for (int s = 0; s < seeds; ++s) {
+    base += core::run_trial(core::Protocol::kSt, affinity_config(0.0, 200 + s))
+                .tree_service_affinity;
+    biased += core::run_trial(core::Protocol::kSt, affinity_config(20.0, 200 + s))
+                  .tree_service_affinity;
+  }
+  EXPECT_GT(biased / seeds, base / seeds + 0.1);
+}
+
+TEST(ServiceAffinity, BiasedTreeStillSpansAndConverges) {
+  const auto m = core::run_trial(core::Protocol::kSt, affinity_config(20.0, 300));
+  EXPECT_TRUE(m.converged);
+  EXPECT_EQ(m.final_fragments, 1U);
+}
+
+TEST(ServiceAffinity, BiasTradesTreeWeight) {
+  // A service-homophilous tree generally sacrifices some PS strength: the
+  // pure heavy-edge tree has the maximum weight by construction.
+  double base_weight = 0.0, biased_weight = 0.0;
+  const int seeds = 3;
+  for (int s = 0; s < seeds; ++s) {
+    base_weight += core::run_trial(core::Protocol::kSt, affinity_config(0.0, 400 + s))
+                       .tree_weight_dbm;
+    biased_weight += core::run_trial(core::Protocol::kSt, affinity_config(25.0, 400 + s))
+                         .tree_weight_dbm;
+  }
+  // Weights are sums of dBm values (negative); stronger tree = larger sum.
+  EXPECT_GE(base_weight, biased_weight - 50.0);
+}
+
+}  // namespace

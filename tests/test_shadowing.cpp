@@ -1,0 +1,90 @@
+// Tests for log-normal shadowing models (src/phy/shadowing.hpp).
+#include "phy/shadowing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace firefly::phy;
+using firefly::util::Rng;
+
+TEST(NoShadowing, AlwaysZero) {
+  NoShadowing model;
+  EXPECT_DOUBLE_EQ(model.sample(1, 2).value, 0.0);
+  EXPECT_DOUBLE_EQ(model.sigma_db(), 0.0);
+}
+
+TEST(IidShadowing, MomentsMatchSigma) {
+  IidShadowing model(10.0, Rng(1));
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = model.sample(0, 1).value;
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.15);
+  EXPECT_NEAR(sum2 / n, 100.0, 2.0);
+  EXPECT_DOUBLE_EQ(model.sigma_db(), 10.0);
+}
+
+TEST(IidShadowing, FreshDrawEveryCall) {
+  IidShadowing model(10.0, Rng(2));
+  EXPECT_NE(model.sample(0, 1).value, model.sample(0, 1).value);
+}
+
+TEST(PerLinkShadowing, MemoisedPerLink) {
+  PerLinkShadowing model(10.0, Rng(3));
+  const double first = model.sample(4, 9).value;
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(model.sample(4, 9).value, first);
+}
+
+TEST(PerLinkShadowing, SymmetricLinks) {
+  PerLinkShadowing model(10.0, Rng(4));
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    for (std::uint32_t b = a + 1; b < 8; ++b) {
+      EXPECT_DOUBLE_EQ(model.sample(a, b).value, model.sample(b, a).value);
+    }
+  }
+}
+
+TEST(PerLinkShadowing, DistinctLinksIndependent) {
+  PerLinkShadowing model(10.0, Rng(5));
+  // 20 links, all draws distinct (collision probability ~0 for doubles).
+  double prev = model.sample(0, 1).value;
+  int distinct = 0;
+  for (std::uint32_t i = 2; i < 22; ++i) {
+    const double x = model.sample(0, i).value;
+    if (x != prev) ++distinct;
+    prev = x;
+  }
+  EXPECT_EQ(distinct, 20);
+}
+
+TEST(PerLinkShadowing, StatisticsAcrossLinks) {
+  PerLinkShadowing model(6.0, Rng(6));
+  double sum = 0.0, sum2 = 0.0;
+  int n = 0;
+  for (std::uint32_t a = 0; a < 200; ++a) {
+    for (std::uint32_t b = a + 1; b < a + 6; ++b) {
+      const double x = model.sample(a, b + 200).value;
+      sum += x;
+      sum2 += x * x;
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.6);
+  EXPECT_NEAR(sum2 / n, 36.0, 4.0);
+}
+
+TEST(PerLinkShadowing, ResetRedraws) {
+  PerLinkShadowing model(10.0, Rng(7));
+  const double before = model.sample(1, 2).value;
+  model.reset();
+  const double after = model.sample(1, 2).value;
+  EXPECT_NE(before, after);
+}
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Tests for PS payload packing (src/core/wire.hpp).
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace firefly::core;
+
+TEST(Wire, PackUnpackRoundTrip) {
+  const Fields f{0x1234, 0xABCD, 0x0042, 0xFFFF};
+  const Fields g = unpack(pack(f));
+  EXPECT_EQ(g.a, f.a);
+  EXPECT_EQ(g.b, f.b);
+  EXPECT_EQ(g.c, f.c);
+  EXPECT_EQ(g.d, f.d);
+}
+
+TEST(Wire, FieldPlacement) {
+  EXPECT_EQ(pack(Fields{1, 0, 0, 0}), 0x0000000000000001ULL);
+  EXPECT_EQ(pack(Fields{0, 1, 0, 0}), 0x0000000000010000ULL);
+  EXPECT_EQ(pack(Fields{0, 0, 1, 0}), 0x0000000100000000ULL);
+  EXPECT_EQ(pack(Fields{0, 0, 0, 1}), 0x0001000000000000ULL);
+}
+
+TEST(Wire, ZeroAndMax) {
+  EXPECT_EQ(pack(Fields{}), 0ULL);
+  EXPECT_EQ(pack(Fields{0xFFFF, 0xFFFF, 0xFFFF, 0xFFFF}), ~0ULL);
+  const Fields f = unpack(~0ULL);
+  EXPECT_EQ(f.a, 0xFFFF);
+  EXPECT_EQ(f.d, 0xFFFF);
+}
+
+TEST(Wire, MergeKeyIsUniquePerPair) {
+  EXPECT_NE(merge_key(1, 2), merge_key(2, 1));  // ordered pair
+  EXPECT_NE(merge_key(1, 2), merge_key(1, 3));
+  EXPECT_EQ(merge_key(7, 9), merge_key(7, 9));
+  EXPECT_EQ(merge_key(0xFFFF, 0xFFFF), 0xFFFFFFFFU);
+}
+
+TEST(Wire, PackIsConstexpr) {
+  static_assert(pack(Fields{1, 2, 3, 4}) ==
+                (1ULL | (2ULL << 16) | (3ULL << 32) | (4ULL << 48)));
+  static_assert(unpack(pack(Fields{5, 6, 7, 8})).c == 7);
+  SUCCEED();
+}
+
+}  // namespace
