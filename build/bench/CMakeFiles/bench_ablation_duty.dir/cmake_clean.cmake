@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_duty.dir/bench_ablation_duty.cpp.o"
+  "CMakeFiles/bench_ablation_duty.dir/bench_ablation_duty.cpp.o.d"
+  "bench_ablation_duty"
+  "bench_ablation_duty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_duty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

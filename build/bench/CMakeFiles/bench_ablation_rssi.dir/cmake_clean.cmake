@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rssi.dir/bench_ablation_rssi.cpp.o"
+  "CMakeFiles/bench_ablation_rssi.dir/bench_ablation_rssi.cpp.o.d"
+  "bench_ablation_rssi"
+  "bench_ablation_rssi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

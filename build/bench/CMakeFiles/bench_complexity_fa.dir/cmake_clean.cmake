@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complexity_fa.dir/bench_complexity_fa.cpp.o"
+  "CMakeFiles/bench_complexity_fa.dir/bench_complexity_fa.cpp.o.d"
+  "bench_complexity_fa"
+  "bench_complexity_fa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complexity_fa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

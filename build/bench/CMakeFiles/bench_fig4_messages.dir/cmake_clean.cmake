@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_messages.dir/bench_fig4_messages.cpp.o"
+  "CMakeFiles/bench_fig4_messages.dir/bench_fig4_messages.cpp.o.d"
+  "bench_fig4_messages"
+  "bench_fig4_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_cli.dir/firefly_cli.cpp.o"
+  "CMakeFiles/firefly_cli.dir/firefly_cli.cpp.o.d"
+  "firefly_cli"
+  "firefly_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_network.dir/mobile_network.cpp.o"
+  "CMakeFiles/mobile_network.dir/mobile_network.cpp.o.d"
+  "mobile_network"
+  "mobile_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_services.dir/proximity_services.cpp.o"
+  "CMakeFiles/proximity_services.dir/proximity_services.cpp.o.d"
+  "proximity_services"
+  "proximity_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

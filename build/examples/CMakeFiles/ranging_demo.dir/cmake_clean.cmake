@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranging_demo.dir/ranging_demo.cpp.o"
+  "CMakeFiles/ranging_demo.dir/ranging_demo.cpp.o.d"
+  "ranging_demo"
+  "ranging_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranging_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stadium_offload.dir/stadium_offload.cpp.o"
+  "CMakeFiles/stadium_offload.dir/stadium_offload.cpp.o.d"
+  "stadium_offload"
+  "stadium_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stadium_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/birthday.cpp" "src/core/CMakeFiles/firefly_core.dir/birthday.cpp.o" "gcc" "src/core/CMakeFiles/firefly_core.dir/birthday.cpp.o.d"
+  "/root/repo/src/core/device.cpp" "src/core/CMakeFiles/firefly_core.dir/device.cpp.o" "gcc" "src/core/CMakeFiles/firefly_core.dir/device.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/firefly_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/firefly_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/firefly_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/firefly_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/fst.cpp" "src/core/CMakeFiles/firefly_core.dir/fst.cpp.o" "gcc" "src/core/CMakeFiles/firefly_core.dir/fst.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/firefly_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/firefly_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/firefly_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/firefly_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/st.cpp" "src/core/CMakeFiles/firefly_core.dir/st.cpp.o" "gcc" "src/core/CMakeFiles/firefly_core.dir/st.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/firefly_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/firefly_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/firefly_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/firefly_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/firefly_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/firefly_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/firefly_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/firefly_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pco/CMakeFiles/firefly_pco.dir/DependInfo.cmake"
+  "/root/repo/build/src/fa/CMakeFiles/firefly_fa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

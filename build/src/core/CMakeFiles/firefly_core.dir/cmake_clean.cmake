@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_core.dir/birthday.cpp.o"
+  "CMakeFiles/firefly_core.dir/birthday.cpp.o.d"
+  "CMakeFiles/firefly_core.dir/device.cpp.o"
+  "CMakeFiles/firefly_core.dir/device.cpp.o.d"
+  "CMakeFiles/firefly_core.dir/engine.cpp.o"
+  "CMakeFiles/firefly_core.dir/engine.cpp.o.d"
+  "CMakeFiles/firefly_core.dir/experiment.cpp.o"
+  "CMakeFiles/firefly_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/firefly_core.dir/fst.cpp.o"
+  "CMakeFiles/firefly_core.dir/fst.cpp.o.d"
+  "CMakeFiles/firefly_core.dir/scenario.cpp.o"
+  "CMakeFiles/firefly_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/firefly_core.dir/schedule.cpp.o"
+  "CMakeFiles/firefly_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/firefly_core.dir/st.cpp.o"
+  "CMakeFiles/firefly_core.dir/st.cpp.o.d"
+  "CMakeFiles/firefly_core.dir/trace.cpp.o"
+  "CMakeFiles/firefly_core.dir/trace.cpp.o.d"
+  "libfirefly_core.a"
+  "libfirefly_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

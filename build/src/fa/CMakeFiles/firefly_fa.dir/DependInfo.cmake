@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fa/firefly.cpp" "src/fa/CMakeFiles/firefly_fa.dir/firefly.cpp.o" "gcc" "src/fa/CMakeFiles/firefly_fa.dir/firefly.cpp.o.d"
+  "/root/repo/src/fa/objective.cpp" "src/fa/CMakeFiles/firefly_fa.dir/objective.cpp.o" "gcc" "src/fa/CMakeFiles/firefly_fa.dir/objective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/firefly_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/firefly_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

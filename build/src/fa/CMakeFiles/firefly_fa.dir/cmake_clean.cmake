@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_fa.dir/firefly.cpp.o"
+  "CMakeFiles/firefly_fa.dir/firefly.cpp.o.d"
+  "CMakeFiles/firefly_fa.dir/objective.cpp.o"
+  "CMakeFiles/firefly_fa.dir/objective.cpp.o.d"
+  "libfirefly_fa.a"
+  "libfirefly_fa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_fa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

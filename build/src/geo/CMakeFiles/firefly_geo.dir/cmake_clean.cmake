@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_geo.dir/deployment.cpp.o"
+  "CMakeFiles/firefly_geo.dir/deployment.cpp.o.d"
+  "CMakeFiles/firefly_geo.dir/mobility.cpp.o"
+  "CMakeFiles/firefly_geo.dir/mobility.cpp.o.d"
+  "libfirefly_geo.a"
+  "libfirefly_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/boruvka.cpp" "src/graph/CMakeFiles/firefly_graph.dir/boruvka.cpp.o" "gcc" "src/graph/CMakeFiles/firefly_graph.dir/boruvka.cpp.o.d"
+  "/root/repo/src/graph/ghs.cpp" "src/graph/CMakeFiles/firefly_graph.dir/ghs.cpp.o" "gcc" "src/graph/CMakeFiles/firefly_graph.dir/ghs.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/firefly_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/firefly_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/graph/CMakeFiles/firefly_graph.dir/mst.cpp.o" "gcc" "src/graph/CMakeFiles/firefly_graph.dir/mst.cpp.o.d"
+  "/root/repo/src/graph/union_find.cpp" "src/graph/CMakeFiles/firefly_graph.dir/union_find.cpp.o" "gcc" "src/graph/CMakeFiles/firefly_graph.dir/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/firefly_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_graph.dir/boruvka.cpp.o"
+  "CMakeFiles/firefly_graph.dir/boruvka.cpp.o.d"
+  "CMakeFiles/firefly_graph.dir/ghs.cpp.o"
+  "CMakeFiles/firefly_graph.dir/ghs.cpp.o.d"
+  "CMakeFiles/firefly_graph.dir/graph.cpp.o"
+  "CMakeFiles/firefly_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/firefly_graph.dir/mst.cpp.o"
+  "CMakeFiles/firefly_graph.dir/mst.cpp.o.d"
+  "CMakeFiles/firefly_graph.dir/union_find.cpp.o"
+  "CMakeFiles/firefly_graph.dir/union_find.cpp.o.d"
+  "libfirefly_graph.a"
+  "libfirefly_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/rach.cpp" "src/mac/CMakeFiles/firefly_mac.dir/rach.cpp.o" "gcc" "src/mac/CMakeFiles/firefly_mac.dir/rach.cpp.o.d"
+  "/root/repo/src/mac/radio.cpp" "src/mac/CMakeFiles/firefly_mac.dir/radio.cpp.o" "gcc" "src/mac/CMakeFiles/firefly_mac.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/firefly_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/firefly_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/firefly_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/firefly_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

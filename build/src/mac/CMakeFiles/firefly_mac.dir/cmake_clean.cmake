@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_mac.dir/rach.cpp.o"
+  "CMakeFiles/firefly_mac.dir/rach.cpp.o.d"
+  "CMakeFiles/firefly_mac.dir/radio.cpp.o"
+  "CMakeFiles/firefly_mac.dir/radio.cpp.o.d"
+  "libfirefly_mac.a"
+  "libfirefly_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pco/network_pco.cpp" "src/pco/CMakeFiles/firefly_pco.dir/network_pco.cpp.o" "gcc" "src/pco/CMakeFiles/firefly_pco.dir/network_pco.cpp.o.d"
+  "/root/repo/src/pco/oscillator.cpp" "src/pco/CMakeFiles/firefly_pco.dir/oscillator.cpp.o" "gcc" "src/pco/CMakeFiles/firefly_pco.dir/oscillator.cpp.o.d"
+  "/root/repo/src/pco/prc.cpp" "src/pco/CMakeFiles/firefly_pco.dir/prc.cpp.o" "gcc" "src/pco/CMakeFiles/firefly_pco.dir/prc.cpp.o.d"
+  "/root/repo/src/pco/sync_metrics.cpp" "src/pco/CMakeFiles/firefly_pco.dir/sync_metrics.cpp.o" "gcc" "src/pco/CMakeFiles/firefly_pco.dir/sync_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/firefly_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/firefly_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

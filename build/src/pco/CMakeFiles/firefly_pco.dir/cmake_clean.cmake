@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_pco.dir/network_pco.cpp.o"
+  "CMakeFiles/firefly_pco.dir/network_pco.cpp.o.d"
+  "CMakeFiles/firefly_pco.dir/oscillator.cpp.o"
+  "CMakeFiles/firefly_pco.dir/oscillator.cpp.o.d"
+  "CMakeFiles/firefly_pco.dir/prc.cpp.o"
+  "CMakeFiles/firefly_pco.dir/prc.cpp.o.d"
+  "CMakeFiles/firefly_pco.dir/sync_metrics.cpp.o"
+  "CMakeFiles/firefly_pco.dir/sync_metrics.cpp.o.d"
+  "libfirefly_pco.a"
+  "libfirefly_pco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_pco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for firefly_pco.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/firefly_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/firefly_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/energy.cpp" "src/phy/CMakeFiles/firefly_phy.dir/energy.cpp.o" "gcc" "src/phy/CMakeFiles/firefly_phy.dir/energy.cpp.o.d"
+  "/root/repo/src/phy/fading.cpp" "src/phy/CMakeFiles/firefly_phy.dir/fading.cpp.o" "gcc" "src/phy/CMakeFiles/firefly_phy.dir/fading.cpp.o.d"
+  "/root/repo/src/phy/link.cpp" "src/phy/CMakeFiles/firefly_phy.dir/link.cpp.o" "gcc" "src/phy/CMakeFiles/firefly_phy.dir/link.cpp.o.d"
+  "/root/repo/src/phy/pathloss.cpp" "src/phy/CMakeFiles/firefly_phy.dir/pathloss.cpp.o" "gcc" "src/phy/CMakeFiles/firefly_phy.dir/pathloss.cpp.o.d"
+  "/root/repo/src/phy/rssi.cpp" "src/phy/CMakeFiles/firefly_phy.dir/rssi.cpp.o" "gcc" "src/phy/CMakeFiles/firefly_phy.dir/rssi.cpp.o.d"
+  "/root/repo/src/phy/shadowing.cpp" "src/phy/CMakeFiles/firefly_phy.dir/shadowing.cpp.o" "gcc" "src/phy/CMakeFiles/firefly_phy.dir/shadowing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/firefly_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/firefly_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_phy.dir/channel.cpp.o"
+  "CMakeFiles/firefly_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/firefly_phy.dir/energy.cpp.o"
+  "CMakeFiles/firefly_phy.dir/energy.cpp.o.d"
+  "CMakeFiles/firefly_phy.dir/fading.cpp.o"
+  "CMakeFiles/firefly_phy.dir/fading.cpp.o.d"
+  "CMakeFiles/firefly_phy.dir/link.cpp.o"
+  "CMakeFiles/firefly_phy.dir/link.cpp.o.d"
+  "CMakeFiles/firefly_phy.dir/pathloss.cpp.o"
+  "CMakeFiles/firefly_phy.dir/pathloss.cpp.o.d"
+  "CMakeFiles/firefly_phy.dir/rssi.cpp.o"
+  "CMakeFiles/firefly_phy.dir/rssi.cpp.o.d"
+  "CMakeFiles/firefly_phy.dir/shadowing.cpp.o"
+  "CMakeFiles/firefly_phy.dir/shadowing.cpp.o.d"
+  "libfirefly_phy.a"
+  "libfirefly_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/firefly_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/firefly_sim.dir/simulator.cpp.o"
+  "CMakeFiles/firefly_sim.dir/simulator.cpp.o.d"
+  "libfirefly_sim.a"
+  "libfirefly_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefly_util.dir/flags.cpp.o"
+  "CMakeFiles/firefly_util.dir/flags.cpp.o.d"
+  "CMakeFiles/firefly_util.dir/log.cpp.o"
+  "CMakeFiles/firefly_util.dir/log.cpp.o.d"
+  "CMakeFiles/firefly_util.dir/rng.cpp.o"
+  "CMakeFiles/firefly_util.dir/rng.cpp.o.d"
+  "CMakeFiles/firefly_util.dir/stats.cpp.o"
+  "CMakeFiles/firefly_util.dir/stats.cpp.o.d"
+  "CMakeFiles/firefly_util.dir/table.cpp.o"
+  "CMakeFiles/firefly_util.dir/table.cpp.o.d"
+  "CMakeFiles/firefly_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/firefly_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/firefly_util.dir/units.cpp.o"
+  "CMakeFiles/firefly_util.dir/units.cpp.o.d"
+  "libfirefly_util.a"
+  "libfirefly_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefly_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_duty_cycle.dir/test_duty_cycle.cpp.o"
+  "CMakeFiles/test_duty_cycle.dir/test_duty_cycle.cpp.o.d"
+  "test_duty_cycle"
+  "test_duty_cycle.pdb"
+  "test_duty_cycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

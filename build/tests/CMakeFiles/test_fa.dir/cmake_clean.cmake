@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fa.dir/test_fa.cpp.o"
+  "CMakeFiles/test_fa.dir/test_fa.cpp.o.d"
+  "test_fa"
+  "test_fa.pdb"
+  "test_fa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

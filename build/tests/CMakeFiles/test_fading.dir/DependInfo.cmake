@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fading.cpp" "tests/CMakeFiles/test_fading.dir/test_fading.cpp.o" "gcc" "tests/CMakeFiles/test_fading.dir/test_fading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/firefly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/firefly_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/firefly_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/firefly_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pco/CMakeFiles/firefly_pco.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/firefly_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/fa/CMakeFiles/firefly_fa.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/firefly_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/firefly_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

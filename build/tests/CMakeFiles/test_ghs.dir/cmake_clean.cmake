@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ghs.dir/test_ghs.cpp.o"
+  "CMakeFiles/test_ghs.dir/test_ghs.cpp.o.d"
+  "test_ghs"
+  "test_ghs.pdb"
+  "test_ghs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ghs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobile_protocols.dir/test_mobile_protocols.cpp.o"
+  "CMakeFiles/test_mobile_protocols.dir/test_mobile_protocols.cpp.o.d"
+  "test_mobile_protocols"
+  "test_mobile_protocols.pdb"
+  "test_mobile_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobile_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

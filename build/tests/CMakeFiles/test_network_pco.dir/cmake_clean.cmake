@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_pco.dir/test_network_pco.cpp.o"
+  "CMakeFiles/test_network_pco.dir/test_network_pco.cpp.o.d"
+  "test_network_pco"
+  "test_network_pco.pdb"
+  "test_network_pco[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_pco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

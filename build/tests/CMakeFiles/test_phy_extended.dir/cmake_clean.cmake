@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_extended.dir/test_phy_extended.cpp.o"
+  "CMakeFiles/test_phy_extended.dir/test_phy_extended.cpp.o.d"
+  "test_phy_extended"
+  "test_phy_extended.pdb"
+  "test_phy_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prc.dir/test_prc.cpp.o"
+  "CMakeFiles/test_prc.dir/test_prc.cpp.o.d"
+  "test_prc"
+  "test_prc.pdb"
+  "test_prc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rach.dir/test_rach.cpp.o"
+  "CMakeFiles/test_rach.dir/test_rach.cpp.o.d"
+  "test_rach"
+  "test_rach.pdb"
+  "test_rach[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

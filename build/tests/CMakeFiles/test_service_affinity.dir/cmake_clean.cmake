@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_affinity.dir/test_service_affinity.cpp.o"
+  "CMakeFiles/test_service_affinity.dir/test_service_affinity.cpp.o.d"
+  "test_service_affinity"
+  "test_service_affinity.pdb"
+  "test_service_affinity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadowing.dir/test_shadowing.cpp.o"
+  "CMakeFiles/test_shadowing.dir/test_shadowing.cpp.o.d"
+  "test_shadowing"
+  "test_shadowing.pdb"
+  "test_shadowing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

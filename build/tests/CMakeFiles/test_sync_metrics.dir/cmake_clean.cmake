@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_metrics.dir/test_sync_metrics.cpp.o"
+  "CMakeFiles/test_sync_metrics.dir/test_sync_metrics.cpp.o.d"
+  "test_sync_metrics"
+  "test_sync_metrics.pdb"
+  "test_sync_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
