@@ -10,6 +10,13 @@
 //   --area scaled|fixed [scaled]    --epsilon <PRC ε> [0.05]
 //   --period <slots> [100]          --periods <max periods> [400]
 //   --mobility <m/s> [0]            --csv <path>  (append result rows)
+//
+// Fault injection (any non-zero knob turns the subsystem on; the run then
+// observes through the faults instead of stopping at convergence):
+//   --churn <crashes/min> [0]       --downtime <mean ms> [2000]
+//   --churn-stop <ms> [-1 = never]  --drift <max ppm> [0]
+//   --drop <probability> [0]        --fade-rate <fades/min> [0]
+//   --fade-ms <mean ms> [500]       --fade-depth <dB> [60]
 #include <iostream>
 
 #include "core/experiment.hpp"
@@ -26,7 +33,9 @@ int main(int argc, char** argv) {
     std::cout << "usage: " << flags.program()
               << " [--protocol fst|st|birthday|both|all] [--n N] [--seed S] [--trials T]\n"
                  "       [--area scaled|fixed] [--epsilon E] [--period SLOTS]\n"
-                 "       [--periods MAX] [--mobility MPS] [--csv PATH]\n";
+                 "       [--periods MAX] [--mobility MPS] [--csv PATH]\n"
+                 "       [--churn PER_MIN] [--downtime MS] [--churn-stop MS] [--drift PPM]\n"
+                 "       [--drop P] [--fade-rate PER_MIN] [--fade-ms MS] [--fade-depth DB]\n";
     return 0;
   }
 
@@ -42,6 +51,15 @@ int main(int argc, char** argv) {
   base.protocol.max_periods =
       static_cast<std::uint32_t>(flags.get("periods", std::int64_t{400}));
   base.protocol.mobility_speed_mps = flags.get("mobility", 0.0);
+  fault::FaultPlan& faults = base.protocol.faults;
+  faults.churn_rate_per_min = flags.get("churn", 0.0);
+  faults.mean_downtime_ms = flags.get("downtime", faults.mean_downtime_ms);
+  faults.churn_stop_ms = flags.get("churn-stop", faults.churn_stop_ms);
+  faults.drift_max_ppm = flags.get("drift", 0.0);
+  faults.drop_probability = flags.get("drop", 0.0);
+  faults.fade_rate_per_min = flags.get("fade-rate", 0.0);
+  faults.fade_mean_duration_ms = flags.get("fade-ms", faults.fade_mean_duration_ms);
+  faults.fade_depth_db = flags.get("fade-depth", faults.fade_depth_db);
   const auto trials = static_cast<std::size_t>(flags.get("trials", std::int64_t{1}));
 
   const std::string protocol_arg = flags.get("protocol", std::string("both"));
@@ -57,10 +75,15 @@ int main(int argc, char** argv) {
                     std::to_string(trials) + " trial(s)");
   table.set_headers({"protocol", "converged", "time ms (mean)", "sync ms", "discovery ms",
                      "msgs", "RACH2", "collisions", "energy/dev mJ", "neighbors"});
+  util::Table resilience("resilience (fault-injection observables)");
+  resilience.set_headers({"protocol", "crashes", "recoveries", "fault drops", "resyncs",
+                          "mean resync ms", "sync uptime", "in-sync end", "repair msgs",
+                          "alive", "partitioned"});
 
   for (const core::Protocol protocol : protocols) {
     util::Sample time_ms, sync_ms, disc_ms, msgs, rach2, collisions, energy, neighbors;
-    std::size_t converged = 0;
+    util::Sample crashes, recoveries, drops, resyncs, resync_ms, uptime, repair, alive;
+    std::size_t converged = 0, in_sync = 0, partitioned = 0;
     for (std::size_t t = 0; t < trials; ++t) {
       core::ScenarioConfig config = base;
       config.seed = base.seed + t;
@@ -76,6 +99,16 @@ int main(int argc, char** argv) {
       collisions.add(static_cast<double>(m.collisions));
       energy.add(m.mean_device_energy_mj);
       neighbors.add(m.mean_neighbors_discovered);
+      crashes.add(static_cast<double>(m.crashes));
+      recoveries.add(static_cast<double>(m.recoveries));
+      drops.add(static_cast<double>(m.fault_drops));
+      resyncs.add(static_cast<double>(m.resyncs));
+      resync_ms.add(m.mean_resync_ms);
+      uptime.add(m.sync_uptime);
+      repair.add(static_cast<double>(m.repair_messages));
+      alive.add(static_cast<double>(m.alive_at_end));
+      if (m.in_sync_at_end) ++in_sync;
+      if (m.partitioned) ++partitioned;
     }
     table.add_row({core::to_string(protocol),
                    util::Table::num(converged) + "/" + util::Table::num(trials),
@@ -86,8 +119,19 @@ int main(int argc, char** argv) {
                    util::Table::num(collisions.mean(), 0),
                    util::Table::num(energy.mean(), 1),
                    util::Table::num(neighbors.mean(), 1)});
+    resilience.add_row({core::to_string(protocol), util::Table::num(crashes.mean(), 1),
+                        util::Table::num(recoveries.mean(), 1),
+                        util::Table::num(drops.mean(), 0),
+                        util::Table::num(resyncs.mean(), 1),
+                        util::Table::num(resync_ms.mean(), 0),
+                        util::Table::num(uptime.mean(), 3),
+                        util::Table::num(in_sync) + "/" + util::Table::num(trials),
+                        util::Table::num(repair.mean(), 0),
+                        util::Table::num(alive.mean(), 1),
+                        util::Table::num(partitioned) + "/" + util::Table::num(trials)});
   }
   table.print(std::cout);
+  if (base.protocol.faults.enabled()) resilience.print(std::cout);
 
   const std::string csv = flags.get("csv", std::string());
   if (!csv.empty()) {

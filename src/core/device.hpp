@@ -43,6 +43,11 @@ struct Device {
   // --- discovery ---
   std::unordered_map<std::uint32_t, NeighborInfo> neighbors;
 
+  // --- fault-injection state ---
+  bool down{false};             ///< crashed: radio silent, timers parked
+  double drift_ppm{0.0};        ///< oscillator skew of this device's crystal
+  double drift_residual{0.0};   ///< accumulated fractional skew, in slots
+
   // --- ST fragment state ---
   std::uint16_t fragment{kInvalidId};   ///< fragment label (head id at creation)
   std::uint16_t fragment_size{1};
@@ -53,7 +58,9 @@ struct Device {
   std::size_t head_rotation{0};         ///< Change_head round-robin cursor
   std::uint32_t pending_target{kInvalidId};
   std::int64_t connect_sent_slot{-1};
+  std::uint32_t connect_attempts{0};    ///< timed-out H_Connects this head stint
   std::int64_t last_fragment_activity_slot{0};  ///< stall detection for headless fragments
+  std::int64_t head_heard_slot{0};      ///< lease: last proof a live head serves my fragment
 
   /// Oscillator counter at `slot` given the scheduled natural firing.
   [[nodiscard]] std::uint32_t counter_at(std::int64_t slot, std::uint32_t period) const {

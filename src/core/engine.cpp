@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "graph/union_find.hpp"
 #include "pco/prc.hpp"
 #include "util/stats.hpp"
 
@@ -46,12 +47,24 @@ EngineBase::EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
     radio_.add_device(
         d.id, d.position,
         [this, &d](const mac::Reception& r) {
+          if (d.down) return;  // the radio gates this too; belt and braces
           update_neighbor(d, r);
           on_reception(d, r);
         },
         std::move(listening));
   }
   radio_.build_candidate_cache();
+
+  if (params_.faults.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        params_.faults, static_cast<std::uint32_t>(devices_.size()),
+        params_.max_slots(), seed);
+    for (Device& d : devices_) d.drift_ppm = injector_->drift_ppm(d.id);
+    install_fault_hook();
+    // A faulted run observes behaviour *through* the faults, so it never
+    // stops at the first convergence instant.
+    params_.stop_on_convergence = false;
+  }
 
   // Links the protocols owe discovery and alignment on: proximity edges
   // whose slot-averaged power clears the threshold with a margin (links
@@ -77,6 +90,7 @@ std::int64_t EngineBase::current_slot() const {
 }
 
 void EngineBase::schedule_fire(Device& device) {
+  if (device.down) return;
   if (device.fire_event != 0) sim_.cancel(device.fire_event);
   const sim::SimTime at = sim::SimTime{device.next_fire_slot * sim::kLteSlot.us};
   device.fire_event = sim_.schedule_at(std::max(at, sim_.now()), [this, &device] {
@@ -86,6 +100,7 @@ void EngineBase::schedule_fire(Device& device) {
 }
 
 void EngineBase::fire(Device& device, std::uint32_t post_counter) {
+  if (device.down) return;
   const std::int64_t slot = current_slot();
   device.last_fire_slot = slot;
   device.refractory_until_slot = slot + params_.refractory_slots;
@@ -93,6 +108,18 @@ void EngineBase::fire(Device& device, std::uint32_t post_counter) {
   // clock offset so the next cycle fires simultaneously with it.
   device.next_fire_slot =
       slot + params_.period_slots - static_cast<std::int64_t>(post_counter);
+  if (device.drift_ppm != 0.0) {
+    // Clock drift: a fast crystal (+ppm) completes its cycle early.  The
+    // sub-slot skew accumulates in a residual and is applied one whole slot
+    // at a time, so the drift the PRC must fight is exact over any horizon.
+    device.drift_residual +=
+        static_cast<double>(params_.period_slots) * device.drift_ppm * 1e-6;
+    const double whole = std::floor(device.drift_residual);
+    if (whole != 0.0) {
+      device.next_fire_slot -= static_cast<std::int64_t>(whole);
+      device.drift_residual -= whole;
+    }
+  }
   emit_fire_broadcast(device);
   detector_.record_fire(device.id, slot);
   local_detector_.record_fire(device.id, slot);
@@ -144,6 +171,7 @@ void EngineBase::apply_pulse_coupling(Device& device, const mac::Reception& rece
 }
 
 void EngineBase::adopt_counter(Device& device, std::uint32_t counter) {
+  if (device.down) return;
   const std::int64_t slot = current_slot();
   if (counter >= params_.period_slots) counter %= params_.period_slots;
   device.next_fire_slot = slot + (params_.period_slots - counter);
@@ -178,6 +206,9 @@ mac::Preamble EngineBase::random_preamble(mac::RachCodec codec) {
 
 bool EngineBase::discovery_complete() const {
   for (const auto& [u, v] : reliable_links_) {
+    // A link with a crashed endpoint is waived: the survivor cannot be
+    // expected to (re)discover a silent radio.
+    if (devices_[u].down || devices_[v].down) continue;
     if (!devices_[u].neighbors.contains(v)) return false;
     if (!devices_[v].neighbors.contains(u)) return false;
   }
@@ -233,14 +264,49 @@ void EngineBase::check_convergence() {
       trace(TraceKind::kSync, 0, static_cast<std::uint32_t>(*converged));
     }
   }
+  if (sync_slot_ >= 0) sample_resilience(slot);
   const bool sync_ok = !requires_sync() || sync_slot_ >= 0;
-  if (params_.stop_on_convergence && sync_ok && discovery_slot_ >= 0 &&
-      protocol_slot_ >= 0) {
-    sim_.stop();
+  if (sync_ok && discovery_slot_ >= 0 && protocol_slot_ >= 0) {
+    if (!repair_base_set_) {
+      // Everything RACH2 spends from here on is repair traffic, not
+      // first-formation traffic.
+      repair_base_set_ = true;
+      repair_rach2_base_ = radio_.counters().rach2_tx;
+    }
+    if (params_.stop_on_convergence) sim_.stop();
   }
 }
 
+void EngineBase::sample_resilience(std::int64_t slot) {
+  const bool aligned = detector_.aligned_now();
+  if (resilience_last_slot_ >= 0) {
+    const std::int64_t dt = slot - resilience_last_slot_;
+    if (dt > 0) {
+      observed_slots_ += dt;
+      if (was_aligned_) in_sync_slots_ += dt;
+    }
+    if (was_aligned_ && !aligned) {
+      desync_start_ = slot;
+    } else if (!was_aligned_ && aligned && desync_start_ >= 0) {
+      const auto duration_ms = static_cast<double>(slot - desync_start_);
+      ++resyncs_;
+      resync_sum_ms_ += duration_ms;
+      resync_max_ms_ = std::max(resync_max_ms_, duration_ms);
+      desync_start_ = -1;
+    }
+  }
+  was_aligned_ = aligned;
+  resilience_last_slot_ = slot;
+}
+
 RunMetrics EngineBase::run() {
+  start_run();
+  const sim::SimTime deadline = sim::SimTime::milliseconds(params_.max_slots());
+  sim_.run_until(deadline);
+  return collect_metrics();
+}
+
+void EngineBase::start_run() {
   // Random initial phases (paper: devices start unsynchronised).
   for (Device& d : devices_) {
     d.next_fire_slot = static_cast<std::int64_t>(
@@ -253,10 +319,86 @@ RunMetrics EngineBase::run() {
       [this] { check_convergence(); });
   if (params_.mobility_speed_mps > 0.0) start_mobility();
   on_start();
+  if (injector_ != nullptr) schedule_fault_events();
+}
 
-  const sim::SimTime deadline = sim::SimTime::milliseconds(params_.max_slots());
-  sim_.run_until(deadline);
+void EngineBase::install_fault_hook() {
+  if (!params_.faults.channel_enabled()) return;
+  radio_.set_fault_hook(
+      [this](std::uint32_t sender, std::uint32_t receiver, mac::PsType /*type*/,
+             util::Dbm power) -> std::optional<util::Dbm> {
+        if (injector_->drop_reception()) return std::nullopt;
+        const double attenuation_db = injector_->link_attenuation_db(sender, receiver);
+        if (attenuation_db > 0.0) {
+          power = power - util::Db{attenuation_db};
+          // A faded-below-threshold reception is a fault drop, not an
+          // ordinary out-of-range miss.
+          if (!channel_->detectable(power)) return std::nullopt;
+        }
+        return power;
+      });
+}
 
+void EngineBase::schedule_fault_events() {
+  for (const fault::ChurnEvent& e : injector_->churn_schedule()) {
+    sim_.schedule_at(sim::SimTime::milliseconds(e.slot), [this, e] {
+      if (e.crash) {
+        crash_device(e.device);
+      } else {
+        recover_device(e.device);
+      }
+    });
+  }
+  for (const fault::FadeEpisode& f : injector_->fade_schedule()) {
+    sim_.schedule_at(sim::SimTime::milliseconds(f.start_slot), [this, f] {
+      injector_->fade_started(f);
+      trace(TraceKind::kFadeStart, f.u, f.u, f.v);
+    });
+    sim_.schedule_at(sim::SimTime::milliseconds(f.end_slot), [this, f] {
+      injector_->fade_ended(f);
+      trace(TraceKind::kFadeEnd, f.u, f.u, f.v);
+    });
+  }
+}
+
+void EngineBase::crash_device(std::uint32_t id) {
+  Device& d = devices_[id];
+  if (d.down) return;
+  d.down = true;
+  if (d.fire_event != 0) {
+    sim_.cancel(d.fire_event);
+    d.fire_event = 0;
+  }
+  radio_.set_down(id, true);
+  detector_.set_active(id, false);
+  local_detector_.set_active(id, false);
+  ++crashes_;
+  trace(TraceKind::kCrash, id);
+}
+
+void EngineBase::recover_device(std::uint32_t id) {
+  Device& d = devices_[id];
+  if (!d.down) return;
+  d.down = false;
+  radio_.set_down(id, false);
+  detector_.set_active(id, true);
+  local_detector_.set_active(id, true);
+  // Cold boot: volatile state is gone.  The crystal (and its drift) is the
+  // same physical part, so drift_ppm survives.
+  d.neighbors.clear();
+  d.last_fire_slot = -1;
+  d.refractory_until_slot = -1;
+  d.drift_residual = 0.0;
+  d.next_fire_slot = current_slot() + 1 +
+                     static_cast<std::int64_t>(
+                         control_rng_.uniform_index(params_.period_slots));
+  schedule_fire(d);
+  on_recover(d);
+  ++recoveries_;
+  trace(TraceKind::kRecover, id);
+}
+
+RunMetrics EngineBase::collect_metrics() {
   RunMetrics metrics;
   const bool sync_ok = !requires_sync() || sync_slot_ >= 0;
   metrics.converged = sync_ok && discovery_slot_ >= 0 && protocol_slot_ >= 0;
@@ -286,6 +428,50 @@ void EngineBase::finalize_metrics(RunMetrics& metrics) const {
   metrics.deliveries = traffic.deliveries;
   metrics.events_processed = sim_.events_processed();
   metrics.simulated_ms = sim_.now().as_milliseconds();
+
+  // Resilience observables (all zero on fault-free runs).
+  metrics.crashes = crashes_;
+  metrics.recoveries = recoveries_;
+  metrics.fade_episodes =
+      injector_ != nullptr
+          ? static_cast<std::uint32_t>(injector_->fade_schedule().size())
+          : 0;
+  metrics.fault_drops = traffic.fault_drops;
+  metrics.resyncs = resyncs_;
+  metrics.mean_resync_ms = resyncs_ > 0 ? resync_sum_ms_ / resyncs_ : 0.0;
+  metrics.max_resync_ms = resync_max_ms_;
+  metrics.sync_uptime =
+      observed_slots_ > 0
+          ? static_cast<double>(in_sync_slots_) / static_cast<double>(observed_slots_)
+          : (sync_slot_ >= 0 ? 1.0 : 0.0);
+  metrics.in_sync_at_end = sync_slot_ >= 0 && was_aligned_;
+  metrics.repair_messages =
+      repair_base_set_ ? traffic.rach2_tx - repair_rach2_base_ : 0;
+  std::uint32_t alive = 0;
+  for (const Device& d : devices_) {
+    if (!d.down) ++alive;
+  }
+  metrics.alive_at_end = alive;
+  // Partition diagnosis: connect the reliable links whose endpoints are both
+  // alive; if more than one component of live devices remains, no protocol
+  // can merge them into a single synchronised fragment.
+  graph::UnionFind components(devices_.size());
+  for (const auto& [u, v] : reliable_links_) {
+    if (!devices_[u].down && !devices_[v].down) components.unite(u, v);
+  }
+  std::int64_t root = -1;
+  bool split = false;
+  for (const Device& d : devices_) {
+    if (d.down) continue;
+    const std::uint32_t r = components.find(d.id);
+    if (root < 0) {
+      root = r;
+    } else if (r != static_cast<std::uint32_t>(root)) {
+      split = true;
+      break;
+    }
+  }
+  metrics.partitioned = split || alive == 0;
 
   util::RunningStats neighbors;
   util::RunningStats service_peers;

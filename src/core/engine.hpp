@@ -16,6 +16,7 @@
 #include "core/metrics.hpp"
 #include "core/params.hpp"
 #include "core/trace.hpp"
+#include "fault/fault_injector.hpp"
 #include "geo/mobility.hpp"
 #include "geo/point.hpp"
 #include "mac/radio.hpp"
@@ -63,6 +64,26 @@ class EngineBase {
   /// Whether convergence includes the global firing-alignment goal.
   /// Discovery-only baselines (birthday protocols) waive it by design.
   [[nodiscard]] virtual bool requires_sync() const { return true; }
+  /// Protocol-state reset when a crashed device cold-boots (fault
+  /// injection).  The base already clears the oscillator and the neighbour
+  /// table; ST additionally resets its fragment state here.
+  virtual void on_recover(Device& /*device*/) {}
+
+  // --- fault injection (tentpole subsystem) ---
+  /// Crash a device now: radio off, firing event cancelled, excluded from
+  /// the convergence detectors until it recovers.
+  void crash_device(std::uint32_t id);
+  /// Recover a crashed device with full cold-boot state: empty neighbour
+  /// table, fresh random phase, protocol state reset via `on_recover`.
+  void recover_device(std::uint32_t id);
+  [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
+
+  // --- run phases (split so tests can step the world manually) ---
+  /// Schedule initial phases, the convergence checker, mobility and the
+  /// fault plan; call once before driving the simulator.
+  void start_run();
+  /// Harvest metrics from the current simulator state.
+  [[nodiscard]] RunMetrics collect_metrics();
 
   // --- oscillator driving (shared) ---
   /// Current absolute slot.
@@ -111,6 +132,13 @@ class EngineBase {
   void check_convergence();
   [[nodiscard]] bool discovery_complete() const;
   void finalize_metrics(RunMetrics& metrics) const;
+  /// Adapt the fault plan into the radio (iid drops + fade attenuation) and
+  /// schedule every pre-generated churn and fade event.
+  void install_fault_hook();
+  void schedule_fault_events();
+  /// Accumulate sync-uptime and desync/resync episodes (sampled at the
+  /// convergence-check cadence once the network has synchronised once).
+  void sample_resilience(std::int64_t slot);
   /// Mobility extension: advance every device along its random-waypoint
   /// trajectory, move it on the radio, invalidate memoised shadowing and
   /// rebuild the delivery cache.  Installed only when
@@ -130,6 +158,22 @@ class EngineBase {
   util::Rng mobility_rng_;
   std::vector<geo::RandomWaypoint> movers_;
   TraceSink* trace_ = nullptr;
+
+  // --- fault injection ---
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::uint32_t crashes_ = 0;
+  std::uint32_t recoveries_ = 0;
+  // Resilience observables, sampled in check_convergence.
+  bool was_aligned_ = false;
+  std::int64_t resilience_last_slot_ = -1;
+  std::int64_t desync_start_ = -1;
+  std::int64_t observed_slots_ = 0;
+  std::int64_t in_sync_slots_ = 0;
+  std::uint32_t resyncs_ = 0;
+  double resync_sum_ms_ = 0.0;
+  double resync_max_ms_ = 0.0;
+  bool repair_base_set_ = false;
+  std::uint64_t repair_rach2_base_ = 0;
 };
 
 }  // namespace firefly::core

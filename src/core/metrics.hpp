@@ -48,6 +48,23 @@ struct RunMetrics {
   double mean_device_energy_mj{0.0};
   double energy_per_neighbor_mj{0.0}; ///< mean energy / mean neighbours found
 
+  // --- resilience (fault-injection runs; all zero when fault-free) ---
+  std::uint32_t crashes{0};
+  std::uint32_t recoveries{0};
+  std::uint32_t fade_episodes{0};
+  std::uint64_t fault_drops{0};       ///< receptions vetoed by fades/iid loss
+  std::uint32_t resyncs{0};           ///< completed desync->resync episodes
+  double mean_resync_ms{0.0};         ///< mean time to regain alignment
+  double max_resync_ms{0.0};
+  double sync_uptime{0.0};            ///< aligned fraction of post-first-sync time
+  bool in_sync_at_end{false};
+  std::uint64_t repair_messages{0};   ///< RACH2 spent after first convergence
+  std::uint32_t alive_at_end{0};
+  /// True when the reliable-link graph over the devices alive at the end is
+  /// disconnected — re-convergence to one synchronised fragment is then
+  /// impossible, and the run is diagnosed rather than failed.
+  bool partitioned{false};
+
   // --- engine accounting ---
   std::uint64_t events_processed{0};
   double simulated_ms{0.0};

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_plan.hpp"
 #include "pco/prc.hpp"
 
 namespace firefly::core {
@@ -46,6 +47,20 @@ struct ProtocolParams {
   std::uint32_t round_slots{32};        ///< head H_Connect attempt cadence
   std::uint32_t connect_timeout_slots{8};
   std::uint32_t tree_stale_periods{4};  ///< drop tree edges silent this long
+
+  // --- ST robustness (fault hardening) ---
+  /// Timed-out H_Connects a head tolerates before passing headship on
+  /// (Change_head); each retry doubles the wait (bounded exponential
+  /// backoff), so attempt k times out after connect_timeout_slots << k.
+  std::uint32_t connect_max_retries{4};
+  /// Head lease: a member that has heard no proof of a live head for its
+  /// fragment (sync flood, head token, merge) for this many periods declares
+  /// the fragment headless, re-labels the reachable remnant under its own id
+  /// and takes headship, so orphaned partitions re-join via H_Connect.
+  std::uint32_t head_lease_periods{8};
+
+  // --- fault injection (default-constructed plan = fault-free run) ---
+  fault::FaultPlan faults{};
 
   // --- mobility extension (paper future work; 0 = static Table I) ---
   double mobility_speed_mps{0.0};       ///< random-waypoint speed

@@ -19,6 +19,7 @@ void StEngine::on_start() {
       const std::int64_t slot =
           base + static_cast<std::int64_t>(control_rng_.uniform_index(params_.discovery_slots));
       sim_.schedule_at(sim::SimTime::milliseconds(slot), [this, &d] {
+        if (d.down) return;
         radio_.broadcast(d.id, random_preamble(mac::RachCodec::kRach1),
                          mac::PsType::kDiscovery,
                          pack(Fields{d.fragment, d.service, 0, 0}));
@@ -37,7 +38,7 @@ void StEngine::on_start() {
                                      static_cast<std::int64_t>(d.id % params_.period_slots);
     sim_.schedule_periodic(sim::SimTime::milliseconds(first_flood),
                            sim::SimTime::milliseconds(params_.period_slots), [this, &d] {
-                             if (d.is_head) emit_sync_flood(d);
+                             if (!d.down && d.is_head) emit_sync_flood(d);
                            });
     // Keep-alive discovery: one beacon per period at a *random* slot.  This
     // is ST's structural answer to the baseline's pathology — FST beacons
@@ -46,15 +47,18 @@ void StEngine::on_start() {
     sim_.schedule_periodic(
         sim::SimTime::milliseconds(base + static_cast<std::int64_t>(d.id % params_.period_slots)),
         sim::SimTime::milliseconds(params_.period_slots), [this, &d] {
+          if (d.down) return;
           const auto offset = static_cast<std::int64_t>(
               control_rng_.uniform_index(params_.period_slots - 1));
           sim_.schedule_in(sim::SimTime::milliseconds(offset), [this, &d] {
+            if (d.down) return;
             radio_.broadcast(d.id, random_preamble(mac::RachCodec::kRach1),
                              mac::PsType::kDiscovery,
                              pack(Fields{d.fragment, d.service, 0, 0}));
           });
         });
   }
+  next_label_ = static_cast<std::uint16_t>(devices_.size());
 }
 
 void StEngine::emit_sync_flood(Device& device) {
@@ -99,33 +103,95 @@ void StEngine::prune_stale_tree_edges(Device& device) {
     device.fragment_size = 1;
     device.is_head = true;
     device.pending_target = kInvalidId;
+    device.connect_attempts = 0;
     device.last_fragment_activity_slot = slot;
+    device.head_heard_slot = slot;
   }
 }
 
+std::uint16_t StEngine::fresh_label() {
+  if (next_label_ < devices_.size()) {
+    next_label_ = static_cast<std::uint16_t>(devices_.size());
+  }
+  return next_label_++;
+}
+
+void StEngine::maybe_reclaim_headless_fragment(Device& device) {
+  const std::int64_t slot = current_slot();
+  // A duty-cycled member only catches a fraction of the per-period flood
+  // renewals, so the lease stretches by 1/awake to keep the false-expiry
+  // probability comparable to the always-awake case.
+  const auto lease = static_cast<std::int64_t>(
+      static_cast<double>(params_.head_lease_periods) * params_.period_slots /
+      params_.awake_fraction());
+  if (slot - device.head_heard_slot <= lease) return;
+  // Every orphaned member's lease expires around the same time (they all
+  // refreshed at the head's last flood), so a deterministic claim would
+  // shatter the remnant into singletons.  A Bernoulli draw per round lets
+  // one early claimant win; its re-label announce rescues the rest.
+  if (!control_rng_.bernoulli(0.25)) return;
+  const std::uint16_t old_label = device.fragment;
+  device.is_head = true;
+  device.fragment = fresh_label();
+  device.fragment_size = 1;
+  device.pending_target = kInvalidId;
+  device.connect_attempts = 0;
+  device.head_heard_slot = slot;
+  device.last_fragment_activity_slot = slot;
+  trace(TraceKind::kRelabel, device.id, device.fragment, old_label);
+  // Flood the re-label through the remnant: members still carrying the old
+  // label adopt the fresh one (and this device's phase) via the normal
+  // merge-announce relay, then the renamed fragment re-joins through
+  // H_Connect.
+  device.announces_seen.insert(merge_key(device.fragment, old_label));
+  emit_announce(device, device.fragment, old_label, 1);
+}
+
 void StEngine::round_action(Device& device) {
+  if (device.down) return;
   const std::int64_t slot = current_slot();
   prune_stale_tree_edges(device);
   if (!device.is_head) {
-    // Stall rule: a fragment whose head token was lost would otherwise
-    // freeze.  After long RACH2 silence, a member that can still see an
-    // outgoing edge self-promotes with low probability (duplicate heads are
-    // harmless; a headless fragment with work left is not).
+    // Stall rule: a fragment whose head token was lost mid-merge would
+    // otherwise freeze.  After long RACH2 silence, a member that can still
+    // see an outgoing edge self-promotes with low probability, keeping the
+    // fragment label intact (duplicate heads are harmless; a headless
+    // fragment with work left is not).
     const std::int64_t stall = 6 * static_cast<std::int64_t>(params_.round_slots);
     if (slot - device.last_fragment_activity_slot > stall && has_outgoing(device) &&
         control_rng_.bernoulli(0.25)) {
       device.is_head = true;
     } else {
+      // Lease check: the stall rule cannot cover a fragment with no
+      // outgoing edge (a spanning fragment whose head crashed, or a
+      // partition remnant) — members then watch for proof of a live head
+      // (sync floods, head tokens, merges) and reclaim the fragment when
+      // it stops coming.
+      maybe_reclaim_headless_fragment(device);
       return;
     }
   }
-  // An in-flight connect gets connect_timeout_slots to complete.
   if (device.pending_target != kInvalidId) {
-    if (slot - device.connect_sent_slot <
-        static_cast<std::int64_t>(params_.connect_timeout_slots)) {
+    // Bounded exponential backoff: attempt k gets connect_timeout_slots<<k
+    // before it is declared lost, so an unreachable peer (crashed, faded or
+    // out of range) is probed at a geometrically decaying rate instead of
+    // every round.
+    const std::int64_t timeout =
+        static_cast<std::int64_t>(params_.connect_timeout_slots)
+        << std::min<std::uint32_t>(device.connect_attempts, 6U);
+    if (slot - device.connect_sent_slot < timeout) return;
+    device.pending_target = kInvalidId;
+    ++device.connect_attempts;
+    // Duty-cycled peers sleep through most requests; budget 1/awake times
+    // the retries before concluding the peer is actually unreachable.
+    const auto max_retries = static_cast<std::uint32_t>(
+        static_cast<double>(params_.connect_max_retries) / params_.awake_fraction());
+    if (device.connect_attempts > max_retries) {
+      // Retry cap reached: stop hammering this neighbourhood and move
+      // headship on; another vantage point may have a live outgoing edge.
+      if (change_head(device)) device.connect_attempts = 0;
       return;
     }
-    device.pending_target = kInvalidId;
   }
   attempt_connect(device);
 }
@@ -173,24 +239,26 @@ void StEngine::attempt_connect(Device& device) {
                                device.fragment_size, counter}));
 }
 
-void StEngine::change_head(Device& device) {
+bool StEngine::change_head(Device& device) {
   // Algorithm 1 line 10: no outgoing edge at this head — rotate headship
   // through the tree neighbours.  A singleton with an empty table just
   // stays head and waits for discovery to populate it, and a fragment that
   // has seen no merge activity for a while is complete: its head goes
   // quiet instead of circulating tokens forever (it resumes automatically
   // if discovery later surfaces a new outgoing edge).
-  if (device.tree_neighbors.empty()) return;
+  if (device.tree_neighbors.empty()) return false;
   const std::int64_t quiet = 8 * static_cast<std::int64_t>(params_.round_slots);
-  if (current_slot() - device.last_fragment_activity_slot > quiet) return;
+  if (current_slot() - device.last_fragment_activity_slot > quiet) return false;
   const std::uint32_t target =
       device.tree_neighbors[device.head_rotation % device.tree_neighbors.size()];
   ++device.head_rotation;
   device.is_head = false;
   device.last_fragment_activity_slot = current_slot();
+  device.head_heard_slot = current_slot();  // start the lease on the successor
   radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach2),
                    mac::PsType::kHeadToken,
                    pack(Fields{static_cast<std::uint16_t>(target), device.fragment, 0, 0}));
+  return true;
 }
 
 void StEngine::local_merge(Device& device, std::uint16_t peer_frag, std::uint16_t peer_size,
@@ -203,6 +271,8 @@ void StEngine::local_merge(Device& device, std::uint16_t peer_frag, std::uint16_
 
   device.add_tree_neighbor(peer_device);
   device.last_fragment_activity_slot = current_slot();
+  device.head_heard_slot = current_slot();  // a merge is proof of head activity
+  device.connect_attempts = 0;              // progress: backoff restarts
   device.announces_seen.insert(merge_key(winner, loser));
   trace(TraceKind::kMerge, device.id, winner, loser);
 
@@ -240,7 +310,9 @@ void StEngine::handle_announce(Device& device, const mac::Reception& reception) 
     device.fragment_size = f.d;
     device.is_head = false;
     device.pending_target = kInvalidId;
+    device.connect_attempts = 0;
     device.last_fragment_activity_slot = current_slot();
+    device.head_heard_slot = current_slot();
     adopt_counter(device, (f.c + elapsed_slots(reception)) % params_.period_slots);
     emit_announce(device, f.a, f.b, f.d);
   } else if (device.fragment == f.a) {
@@ -285,6 +357,7 @@ void StEngine::on_reception(Device& device, const mac::Reception& reception) {
       if (f.a != device.id) break;
       if (f.b == device.fragment) break;  // duplicate / already merged
       device.pending_target = kInvalidId;
+      device.connect_attempts = 0;
       device.last_fragment_activity_slot = current_slot();
       const std::uint32_t adopted = (f.d + elapsed_slots(reception)) % params_.period_slots;
       local_merge(device, f.b, f.c, reception.sender, adopted);
@@ -296,8 +369,12 @@ void StEngine::on_reception(Device& device, const mac::Reception& reception) {
       break;
 
     case mac::PsType::kHeadToken:
+      // Any member overhearing a token for its fragment learns a live head
+      // existed a moment ago — that renews the lease.
+      if (f.b == device.fragment) device.head_heard_slot = current_slot();
       if (f.a == device.id && f.b == device.fragment) {
         device.is_head = true;
+        device.connect_attempts = 0;
         device.last_fragment_activity_slot = current_slot();
         trace(TraceKind::kHeadChange, device.id, device.fragment);
       }
@@ -305,6 +382,7 @@ void StEngine::on_reception(Device& device, const mac::Reception& reception) {
 
     case mac::PsType::kSyncFlood: {
       if (f.a != device.fragment) break;  // another fragment's keep-alive
+      device.head_heard_slot = current_slot();  // lease renewed (even if duplicate)
       const std::uint32_t key = merge_key(f.a, f.b);
       if (device.sync_floods_seen.contains(key)) break;
       device.sync_floods_seen.insert(key);
@@ -320,19 +398,50 @@ void StEngine::on_reception(Device& device, const mac::Reception& reception) {
   }
 }
 
+void StEngine::on_recover(Device& device) {
+  // Everything volatile is gone; the device rejoins as a brand-new
+  // singleton.  The label must be fresh: its old id-label may still name a
+  // live fragment spanning its neighbours, and reusing it would make the
+  // rejoin edge invisible to best_outgoing (same label = no outgoing edge).
+  const std::int64_t slot = current_slot();
+  device.fragment = fresh_label();
+  device.fragment_size = 1;
+  device.is_head = true;
+  device.tree_neighbors.clear();
+  device.announces_seen.clear();
+  device.sync_floods_seen.clear();
+  device.head_rotation = 0;
+  device.pending_target = kInvalidId;
+  device.connect_sent_slot = -1;
+  device.connect_attempts = 0;
+  device.last_fragment_activity_slot = slot;
+  device.head_heard_slot = slot;
+}
+
 bool StEngine::protocol_complete() const {
-  const std::uint16_t label = devices_.empty() ? 0 : devices_.front().fragment;
+  // One fragment must span every *live* device; crashed radios are not part
+  // of the network the algorithm can span.
+  std::uint16_t label = 0;
+  bool found = false;
   for (const Device& d : devices_) {
-    if (d.fragment != label) return false;
+    if (d.down) continue;
+    if (!found) {
+      label = d.fragment;
+      found = true;
+    } else if (d.fragment != label) {
+      return false;
+    }
   }
-  return true;
+  return found;
 }
 
 void StEngine::fill_protocol_metrics(RunMetrics& metrics) const {
   // Distinct fragment labels remaining.
   std::vector<std::uint16_t> labels;
   labels.reserve(devices_.size());
-  for (const Device& d : devices_) labels.push_back(d.fragment);
+  for (const Device& d : devices_) {
+    if (!d.down) labels.push_back(d.fragment);
+  }
   std::sort(labels.begin(), labels.end());
   labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
   metrics.final_fragments = static_cast<std::uint32_t>(labels.size());
@@ -343,7 +452,9 @@ void StEngine::fill_protocol_metrics(RunMetrics& metrics) const {
   std::uint32_t same_service_edges = 0;
   double weight_sum = 0.0;
   for (const Device& d : devices_) {
+    if (d.down) continue;
     for (const std::uint32_t other : d.tree_neighbors) {
+      if (devices_[other].down) continue;  // edge to a crashed radio is gone
       if (other < d.id && devices_[other].has_tree_neighbor(d.id)) continue;  // counted once
       ++edges;
       if (devices_[other].service == d.service) ++same_service_edges;

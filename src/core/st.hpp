@@ -26,10 +26,15 @@
 //   4. Sync pulses (RACH1) couple only along tree edges, polishing residual
 //      offset; convergence is detected exactly as for FST.
 //
-// Robustness against message loss (collisions): connect retries after a
-// timeout, announce dedup by (winner, loser), and a stall rule that lets a
-// fragment self-promote a new head when no RACH2 activity touches it for
-// several rounds (covers lost head tokens).
+// Robustness against message loss, churn and partitions: connect retries
+// with bounded exponential backoff and a retry cap (after which headship
+// moves on), announce dedup by (winner, loser), and a head *lease* — a
+// member that has heard no proof of a live head for its fragment for
+// head_lease_periods re-labels the reachable remnant under a fresh label
+// and takes headship, so fragments orphaned by a crashed head, a lost head
+// token or a network partition re-join through the normal H_Connect
+// machinery.  Crashed devices cold-boot as singleton fragments under a
+// fresh label (`on_recover`).
 #pragma once
 
 #include "core/engine.hpp"
@@ -45,8 +50,10 @@ class StEngine : public EngineBase {
   void on_reception(Device& device, const mac::Reception& reception) override;
   void emit_fire_broadcast(Device& device) override;
   void fill_protocol_metrics(RunMetrics& metrics) const override;
-  /// Algorithm 1 terminates when one fragment spans the network.
+  /// Algorithm 1 terminates when one fragment spans the (live) network.
   [[nodiscard]] bool protocol_complete() const override;
+  /// Cold-boot fragment state after a crash: singleton head, fresh label.
+  void on_recover(Device& device) override;
 
  private:
   void round_action(Device& device);
@@ -54,7 +61,16 @@ class StEngine : public EngineBase {
   [[nodiscard]] const std::uint32_t* best_outgoing(const Device& device) const;
   [[nodiscard]] bool has_outgoing(const Device& device) const;
   void attempt_connect(Device& device);
-  void change_head(Device& device);
+  /// Pass headship to a tree neighbour; false when there is nobody to pass
+  /// it to (or the fragment has gone quiet and the head parks instead).
+  bool change_head(Device& device);
+  /// Head-lease expiry: re-label the reachable remnant of a headless
+  /// fragment and take headship (see the file comment).
+  void maybe_reclaim_headless_fragment(Device& device);
+  /// A fragment label never used by a live fragment before (labels from the
+  /// id range are only minted by the initial singletons and orphan
+  /// restarts; recovery and lease reclaim must not collide with them).
+  [[nodiscard]] std::uint16_t fresh_label();
   /// Deterministic winner rule shared by both H_Connect endpoints.
   [[nodiscard]] static bool left_wins(std::uint16_t left_frag, std::uint16_t left_size,
                                       std::uint16_t right_frag, std::uint16_t right_size);
@@ -69,6 +85,7 @@ class StEngine : public EngineBase {
   /// singleton fragments.
   void prune_stale_tree_edges(Device& device);
 
+  std::uint16_t next_label_{0};  ///< fresh_label cursor (starts past the ids)
 };
 
 }  // namespace firefly::core

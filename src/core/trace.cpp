@@ -13,6 +13,11 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kAdopt: return "adopt";
     case TraceKind::kSync: return "sync";
     case TraceKind::kDiscovery: return "discovery";
+    case TraceKind::kCrash: return "crash";
+    case TraceKind::kRecover: return "recover";
+    case TraceKind::kFadeStart: return "fade-start";
+    case TraceKind::kFadeEnd: return "fade-end";
+    case TraceKind::kRelabel: return "relabel";
   }
   return "?";
 }

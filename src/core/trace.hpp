@@ -20,6 +20,12 @@ enum class TraceKind : std::uint8_t {
   kAdopt = 3,       ///< device adopted a phase (a = counter)
   kSync = 4,        ///< global sync achieved (device = 0, a = slot)
   kDiscovery = 5,   ///< discovery completed (device = 0, a = slot)
+  kCrash = 6,       ///< fault injection crashed the device
+  kRecover = 7,     ///< device recovered with cold-boot state
+  kFadeStart = 8,   ///< deep-fade episode opened (a, b = link endpoints)
+  kFadeEnd = 9,     ///< deep-fade episode closed (a, b = link endpoints)
+  kRelabel = 10,    ///< head lease expired; device re-labelled its remnant
+                    ///< fragment under its own id (b = old label)
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind);

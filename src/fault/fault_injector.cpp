@@ -1,0 +1,120 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace firefly::fault {
+
+namespace {
+
+/// Poisson arrival slots over [0, horizon) at `rate_per_min` events/min.
+/// 1 slot = 1 ms, so the per-slot rate is rate / 60000.
+std::vector<std::int64_t> poisson_arrivals(util::Rng& rng, double rate_per_min,
+                                           std::int64_t horizon_slots,
+                                           double stop_ms = -1.0) {
+  std::vector<std::int64_t> arrivals;
+  if (rate_per_min <= 0.0 || horizon_slots <= 0) return arrivals;
+  const double rate_per_slot = rate_per_min / 60'000.0;
+  double t = 0.0;
+  const double stop = stop_ms < 0.0 ? static_cast<double>(horizon_slots)
+                                    : std::min(stop_ms, static_cast<double>(horizon_slots));
+  while (true) {
+    t += rng.exponential(rate_per_slot);
+    if (t >= stop) break;
+    arrivals.push_back(static_cast<std::int64_t>(t));
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t device_count,
+                             std::int64_t horizon_slots, std::uint64_t master_seed)
+    : plan_(std::move(plan)),
+      drop_rng_(util::derive_seed(master_seed, "fault.drop")) {
+  const util::RngFactory factory(master_seed);
+  drift_ppm_.assign(device_count, 0.0);
+  if (plan_.drift_max_ppm > 0.0) {
+    util::Rng rng = factory.make("fault.drift");
+    for (double& ppm : drift_ppm_) {
+      ppm = rng.uniform(-plan_.drift_max_ppm, plan_.drift_max_ppm);
+    }
+  }
+  generate_churn(factory, device_count, horizon_slots);
+  generate_fades(factory, device_count, horizon_slots);
+}
+
+void FaultInjector::generate_churn(const util::RngFactory& factory,
+                                   std::uint32_t device_count, std::int64_t horizon_slots) {
+  churn_ = plan_.scheduled;
+  if (plan_.churn_rate_per_min > 0.0 && device_count > 0) {
+    util::Rng rng = factory.make("fault.churn");
+    // Track per-device downtime so the random process never crashes a
+    // device that is already down (the scheduled events are the caller's
+    // responsibility and replayed verbatim).
+    std::vector<std::int64_t> down_until(device_count, -1);
+    for (const std::int64_t slot :
+         poisson_arrivals(rng, plan_.churn_rate_per_min, horizon_slots, plan_.churn_stop_ms)) {
+      const auto device = static_cast<std::uint32_t>(rng.uniform_index(device_count));
+      const auto downtime = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(rng.exponential(1.0 / std::max(1.0, plan_.mean_downtime_ms))));
+      if (down_until[device] >= slot) continue;  // still down: skip this arrival
+      down_until[device] = slot + downtime;
+      churn_.push_back(ChurnEvent{slot, device, true});
+      churn_.push_back(ChurnEvent{slot + downtime, device, false});
+    }
+  }
+  std::erase_if(churn_, [&](const ChurnEvent& e) {
+    return e.slot >= horizon_slots || e.device >= device_count;
+  });
+  std::stable_sort(churn_.begin(), churn_.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) { return a.slot < b.slot; });
+}
+
+void FaultInjector::generate_fades(const util::RngFactory& factory,
+                                   std::uint32_t device_count, std::int64_t horizon_slots) {
+  if (plan_.fade_rate_per_min <= 0.0 || device_count < 2) return;
+  util::Rng rng = factory.make("fault.fade");
+  for (const std::int64_t slot :
+       poisson_arrivals(rng, plan_.fade_rate_per_min, horizon_slots)) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform_index(device_count));
+    auto v = static_cast<std::uint32_t>(rng.uniform_index(device_count - 1));
+    if (v >= u) ++v;
+    const auto duration = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(rng.exponential(1.0 / std::max(1.0, plan_.fade_mean_duration_ms))));
+    fades_.push_back(
+        FadeEpisode{slot, std::min(slot + duration, horizon_slots), std::min(u, v), std::max(u, v)});
+  }
+}
+
+double FaultInjector::drift_ppm(std::uint32_t device) const {
+  assert(device < drift_ppm_.size());
+  return drift_ppm_[device];
+}
+
+std::uint64_t FaultInjector::link_key(std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+void FaultInjector::fade_started(const FadeEpisode& episode) {
+  active_fades_.insert(link_key(episode.u, episode.v));
+}
+
+void FaultInjector::fade_ended(const FadeEpisode& episode) {
+  const auto it = active_fades_.find(link_key(episode.u, episode.v));
+  if (it != active_fades_.end()) active_fades_.erase(it);
+}
+
+double FaultInjector::link_attenuation_db(std::uint32_t a, std::uint32_t b) const {
+  if (active_fades_.empty()) return 0.0;
+  return active_fades_.contains(link_key(a, b)) ? plan_.fade_depth_db : 0.0;
+}
+
+bool FaultInjector::drop_reception() {
+  if (plan_.drop_probability <= 0.0) return false;
+  return drop_rng_.bernoulli(plan_.drop_probability);
+}
+
+}  // namespace firefly::fault

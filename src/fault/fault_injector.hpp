@@ -1,0 +1,70 @@
+// fault_injector.hpp — expands a FaultPlan into a concrete, replayable
+// fault schedule and answers the delivery-time fault queries.
+//
+// All schedules (churn transitions, fade episodes, per-device drift) are
+// pre-generated at construction from named substreams of the master seed
+// ("fault.churn", "fault.fade", "fault.drift", "fault.drop"), so the whole
+// fault sequence of a run is fixed before the first event executes and can
+// be inspected, logged or asserted on.  The engine owns the simulator, so
+// it — not the injector — schedules the events; the injector only keeps the
+// *active-fade* set current (via `fade_started`/`fade_ended` callbacks the
+// engine invokes at episode boundaries) and draws the i.i.d. drop stream in
+// radio delivery order, which the single-threaded event loop makes
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace firefly::fault {
+
+class FaultInjector {
+ public:
+  /// Expands `plan` for `device_count` devices over `horizon_slots` slots of
+  /// simulated time (1 slot = 1 ms).  Pure function of its arguments.
+  FaultInjector(FaultPlan plan, std::uint32_t device_count, std::int64_t horizon_slots,
+                std::uint64_t master_seed);
+
+  /// Churn transitions sorted by slot; crash/recover pairs interleaved.
+  /// A device is never crashed while already down.
+  [[nodiscard]] const std::vector<ChurnEvent>& churn_schedule() const { return churn_; }
+  /// Fade episodes sorted by start slot.
+  [[nodiscard]] const std::vector<FadeEpisode>& fade_schedule() const { return fades_; }
+  /// This device's oscillator skew in ppm (0 when drift is disabled).
+  [[nodiscard]] double drift_ppm(std::uint32_t device) const;
+
+  // --- active-fade bookkeeping (engine calls at episode boundaries) ---
+  void fade_started(const FadeEpisode& episode);
+  void fade_ended(const FadeEpisode& episode);
+  /// Extra attenuation currently on link (a, b), in dB (0 when clear).
+  [[nodiscard]] double link_attenuation_db(std::uint32_t a, std::uint32_t b) const;
+
+  /// One i.i.d. drop draw (delivery order = draw order).  False when the
+  /// plan has no drop knob, without consuming randomness.
+  [[nodiscard]] bool drop_reception();
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] static std::uint64_t link_key(std::uint32_t a, std::uint32_t b);
+  void generate_churn(const util::RngFactory& factory, std::uint32_t device_count,
+                      std::int64_t horizon_slots);
+  void generate_fades(const util::RngFactory& factory, std::uint32_t device_count,
+                      std::int64_t horizon_slots);
+
+  FaultPlan plan_;
+  std::vector<ChurnEvent> churn_;
+  std::vector<FadeEpisode> fades_;
+  std::vector<double> drift_ppm_;
+  // A link can be covered by overlapping episodes; count them so an episode
+  // ending early does not clear a fade another episode still holds.
+  std::unordered_multiset<std::uint64_t> active_fades_;
+  util::Rng drop_rng_;
+};
+
+}  // namespace firefly::fault

@@ -21,7 +21,16 @@ void RadioMedium::add_device(std::uint32_t id, geo::Vec2 position, ReceiveFn on_
   assert(id_to_index_[id] == std::numeric_limits<std::size_t>::max() && "duplicate device id");
   id_to_index_[id] = devices_.size();
   devices_.push_back(DeviceEntry{id, position, std::move(on_receive), std::move(listening)});
+  down_.push_back(0);
   cache_valid_ = false;
+}
+
+void RadioMedium::set_down(std::uint32_t id, bool down) {
+  down_[index_of(id)] = down ? 1 : 0;
+}
+
+bool RadioMedium::is_down(std::uint32_t id) const {
+  return down_[index_of(id)] != 0;
 }
 
 std::size_t RadioMedium::index_of(std::uint32_t id) const {
@@ -57,6 +66,7 @@ void RadioMedium::build_candidate_cache(double fading_margin_db) {
 
 void RadioMedium::broadcast(std::uint32_t sender, Preamble preamble, PsType type,
                             std::uint64_t payload) {
+  if (down_[index_of(sender)] != 0) return;  // crashed: PA is off
   const std::int64_t slot = slot_index(sim_->now());
   const sim::SimTime slot_start = sim::SimTime{slot * sim::kLteSlot.us};
   pending_.push_back(PendingTx{sender, preamble, type, payload, slot_start});
@@ -97,9 +107,18 @@ void RadioMedium::flush_slot() {
   auto add_audible = [&](std::size_t rx_index, const PendingTx& tx) {
     const DeviceEntry& rx = devices_[rx_index];
     if (tx.sender == rx.id) return;  // half-duplex: no self-reception
+    if (down_[rx_index] != 0) return;  // crashed receiver hears nothing
     if (rx.listening && !rx.listening()) return;  // duty-cycled receiver asleep
     const geo::Vec2 tx_pos = devices_[index_of(tx.sender)].position;
-    const util::Dbm power = channel_->received_power(tx.sender, tx_pos, rx.id, rx.position);
+    util::Dbm power = channel_->received_power(tx.sender, tx_pos, rx.id, rx.position);
+    if (fault_) {
+      const std::optional<util::Dbm> adjusted = fault_(tx.sender, rx.id, tx.type, power);
+      if (!adjusted.has_value()) {
+        ++counters_.fault_drops;
+        return;
+      }
+      power = *adjusted;
+    }
     if (!channel_->detectable(power)) return;
     if (buckets[rx_index].empty()) touched.push_back(rx_index);
     buckets[rx_index].push_back(Audible{&tx, power});

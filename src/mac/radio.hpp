@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "geo/point.hpp"
@@ -38,6 +39,7 @@ struct TrafficCounters {
   std::uint64_t rach2_tx = 0;
   std::uint64_t collisions = 0;   ///< receiver-side collision events
   std::uint64_t deliveries = 0;   ///< successful receptions
+  std::uint64_t fault_drops = 0;  ///< receptions vetoed by the fault hook
 
   [[nodiscard]] std::uint64_t total_tx() const { return rach1_tx + rach2_tx; }
 };
@@ -48,6 +50,15 @@ class RadioMedium {
   /// Receiver-side duty cycling: evaluated at delivery time; a device whose
   /// predicate returns false is asleep and decodes nothing that slot.
   using ListenFn = std::function<bool()>;
+  /// Channel-fault hook (fault-injection runs): called once per audible
+  /// (tx, rx) pair before the detectability check.  Returns the possibly
+  /// attenuated power — which then flows through the normal threshold and
+  /// collision rules — or nullopt to veto the reception at this receiver
+  /// outright (counted in `TrafficCounters::fault_drops`).  A veto is a
+  /// per-receiver decode failure; the transmission still reaches other
+  /// receivers normally.
+  using FaultFn = std::function<std::optional<util::Dbm>(
+      std::uint32_t sender, std::uint32_t receiver, PsType type, util::Dbm power)>;
 
   /// `capture_margin_db`: a same-resource reception is decoded anyway when
   /// its power exceeds the *sum* of the interferers by this margin.
@@ -62,6 +73,14 @@ class RadioMedium {
   void move_device(std::uint32_t id, geo::Vec2 position);
   [[nodiscard]] geo::Vec2 device_position(std::uint32_t id) const;
   [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+
+  /// Crash/recover lifecycle: a down device neither transmits (broadcasts
+  /// are silently discarded and not metered) nor receives anything.
+  void set_down(std::uint32_t id, bool down);
+  [[nodiscard]] bool is_down(std::uint32_t id) const;
+
+  /// Install the channel-fault hook (null = fault-free delivery).
+  void set_fault_hook(FaultFn fn) { fault_ = std::move(fn); }
 
   /// Queue a broadcast for the slot containing now(); it is delivered to
   /// every in-range receiver at the next slot boundary.
@@ -112,6 +131,8 @@ class RadioMedium {
   double capture_margin_db_;
   std::vector<DeviceEntry> devices_;
   std::vector<std::size_t> id_to_index_;  // device id -> devices_ slot
+  std::vector<std::uint8_t> down_;        // by device index; 1 = crashed
+  FaultFn fault_;
   std::vector<PendingTx> pending_;
   bool flush_scheduled_ = false;
   TrafficCounters counters_;

@@ -40,14 +40,31 @@ ConvergenceDetector::ConvergenceDetector(std::size_t n, std::uint32_t period_slo
                                          std::uint32_t tolerance_slots)
     : period_slots_(period_slots),
       tolerance_slots_(tolerance_slots),
-      last_fire_(n, -1) {
+      last_fire_(n, -1),
+      active_(n, 1),
+      active_count_(n) {
   assert(period_slots_ > 0);
 }
 
 void ConvergenceDetector::record_fire(std::uint32_t id, std::int64_t slot) {
   assert(id < last_fire_.size());
+  if (active_[id] == 0) return;
   if (last_fire_[id] < 0) ++fired_count_;
   last_fire_[id] = slot;
+}
+
+void ConvergenceDetector::set_active(std::uint32_t id, bool active) {
+  assert(id < active_.size());
+  if ((active_[id] != 0) == active) return;
+  active_[id] = active ? 1 : 0;
+  if (active) {
+    ++active_count_;
+    last_fire_[id] = -1;  // must fire again after the cold boot
+  } else {
+    --active_count_;
+    if (last_fire_[id] >= 0) --fired_count_;
+    last_fire_[id] = -1;
+  }
 }
 
 double ConvergenceDetector::current_spread() const {
@@ -55,14 +72,16 @@ double ConvergenceDetector::current_spread() const {
 }
 
 std::int64_t ConvergenceDetector::spread_slots() const {
-  if (fired_count_ < last_fire_.size() || last_fire_.empty()) return period_slots_;
-  if (last_fire_.size() == 1) return 0;
+  if (active_count_ == 0 || fired_count_ < active_count_) return period_slots_;
+  if (active_count_ == 1) return 0;
   // Smallest covering arc of the firing slots modulo the period, computed
   // exactly in integer slots.
   std::vector<std::int64_t> mods;
-  mods.reserve(last_fire_.size());
+  mods.reserve(active_count_);
   const auto period = static_cast<std::int64_t>(period_slots_);
-  for (const std::int64_t slot : last_fire_) mods.push_back(slot % period);
+  for (std::size_t id = 0; id < last_fire_.size(); ++id) {
+    if (active_[id] != 0) mods.push_back(last_fire_[id] % period);
+  }
   std::sort(mods.begin(), mods.end());
   std::int64_t max_gap = mods.front() + period - mods.back();
   for (std::size_t i = 1; i < mods.size(); ++i) {
@@ -71,9 +90,13 @@ std::int64_t ConvergenceDetector::spread_slots() const {
   return period - max_gap;
 }
 
+bool ConvergenceDetector::aligned_now() const {
+  return active_count_ > 0 && fired_count_ == active_count_ &&
+         spread_slots() <= static_cast<std::int64_t>(tolerance_slots_);
+}
+
 std::optional<std::int64_t> ConvergenceDetector::converged_at(std::int64_t current_slot) {
-  const bool aligned = fired_count_ == last_fire_.size() &&
-                       spread_slots() <= static_cast<std::int64_t>(tolerance_slots_);
+  const bool aligned = aligned_now();
   if (!aligned) {
     aligned_since_.reset();
     return std::nullopt;
@@ -89,7 +112,9 @@ LocalSyncDetector::LocalSyncDetector(std::size_t n, std::uint32_t period_slots,
                                      std::uint32_t tolerance_slots)
     : period_slots_(period_slots),
       tolerance_slots_(tolerance_slots),
-      last_fire_(n, -1) {
+      last_fire_(n, -1),
+      active_(n, 1),
+      active_count_(n) {
   assert(period_slots_ > 0);
 }
 
@@ -100,11 +125,26 @@ void LocalSyncDetector::add_edge(std::uint32_t u, std::uint32_t v) {
 
 void LocalSyncDetector::record_fire(std::uint32_t id, std::int64_t slot) {
   assert(id < last_fire_.size());
+  if (active_[id] == 0) return;
   if (last_fire_[id] < 0) ++fired_count_;
   last_fire_[id] = slot;
 }
 
+void LocalSyncDetector::set_active(std::uint32_t id, bool active) {
+  assert(id < active_.size());
+  if ((active_[id] != 0) == active) return;
+  active_[id] = active ? 1 : 0;
+  if (active) {
+    ++active_count_;
+  } else {
+    --active_count_;
+    if (last_fire_[id] >= 0) --fired_count_;
+  }
+  last_fire_[id] = -1;
+}
+
 bool LocalSyncDetector::edge_aligned(std::uint32_t u, std::uint32_t v) const {
+  if (active_[u] == 0 || active_[v] == 0) return true;  // waived while down
   if (last_fire_[u] < 0 || last_fire_[v] < 0) return false;
   const auto period = static_cast<std::int64_t>(period_slots_);
   std::int64_t diff = (last_fire_[u] - last_fire_[v]) % period;
@@ -123,7 +163,7 @@ double LocalSyncDetector::aligned_fraction() const {
 }
 
 std::optional<std::int64_t> LocalSyncDetector::converged_at(std::int64_t current_slot) {
-  bool aligned = fired_count_ == last_fire_.size();
+  bool aligned = active_count_ > 0 && fired_count_ == active_count_;
   if (aligned) {
     for (const auto& [u, v] : edges_) {
       if (!edge_aligned(u, v)) {

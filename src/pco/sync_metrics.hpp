@@ -35,10 +35,21 @@ class ConvergenceDetector {
   /// Record that device `id` fired in absolute slot `slot`.
   void record_fire(std::uint32_t id, std::int64_t slot);
 
+  /// Crash/recover lifecycle: an inactive device is excluded from the
+  /// spread and from the everyone-has-fired requirement.  Re-activating
+  /// clears the device's firing record — a cold-booted oscillator must fire
+  /// again (and land inside the tolerance) before it counts as aligned.
+  void set_active(std::uint32_t id, bool active);
+
   /// Evaluate at the current absolute slot.  Once every device has fired at
   /// least once and alignment has held for `period_slots` consecutive
   /// slots, returns the slot at which alignment was first achieved.
   [[nodiscard]] std::optional<std::int64_t> converged_at(std::int64_t current_slot);
+
+  /// Instantaneous alignment (no sustained-hold requirement): every active
+  /// device has fired and the spread is within tolerance.  The resilience
+  /// metrics sample this to track desync/resync episodes under faults.
+  [[nodiscard]] bool aligned_now() const;
 
   /// Wrapped spread of last firing slots (period units); 1.0 until all
   /// devices have fired.
@@ -50,7 +61,9 @@ class ConvergenceDetector {
   std::uint32_t period_slots_;
   std::uint32_t tolerance_slots_;
   std::vector<std::int64_t> last_fire_;  // -1 = never
-  std::size_t fired_count_ = 0;
+  std::vector<std::uint8_t> active_;     // 0 = crashed (excluded)
+  std::size_t fired_count_ = 0;          // active devices that have fired
+  std::size_t active_count_ = 0;
   std::optional<std::int64_t> aligned_since_;
 };
 
@@ -74,6 +87,11 @@ class LocalSyncDetector {
 
   void record_fire(std::uint32_t id, std::int64_t slot);
 
+  /// Crash/recover lifecycle: edges with an inactive endpoint are waived;
+  /// re-activation clears the device's firing record (see
+  /// `ConvergenceDetector::set_active`).
+  void set_active(std::uint32_t id, bool active);
+
   /// First slot of the currently sustained alignment, once it has held for
   /// a full period and every device has fired.
   [[nodiscard]] std::optional<std::int64_t> converged_at(std::int64_t current_slot);
@@ -88,7 +106,9 @@ class LocalSyncDetector {
   std::uint32_t tolerance_slots_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
   std::vector<std::int64_t> last_fire_;
+  std::vector<std::uint8_t> active_;
   std::size_t fired_count_ = 0;
+  std::size_t active_count_ = 0;
   std::optional<std::int64_t> aligned_since_;
 };
 

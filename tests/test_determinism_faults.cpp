@@ -1,0 +1,117 @@
+// Determinism regression for the fault-injection subsystem: the same master
+// seed and the same FaultPlan must yield bit-identical RunMetrics — across
+// repeated runs and across thread-pool sizes (every trial owns its whole
+// world; nothing shared is mutated).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace firefly;
+
+core::ScenarioConfig faulted_config(std::uint64_t seed) {
+  core::ScenarioConfig config;
+  config.n = 15;
+  config.seed = seed;
+  config.area_policy = core::AreaPolicy::kFixed;
+  config.protocol.max_periods = 120;
+  config.protocol.faults.churn_rate_per_min = 20.0;
+  config.protocol.faults.mean_downtime_ms = 1'000.0;
+  config.protocol.faults.churn_stop_ms = 8'000.0;
+  config.protocol.faults.drift_max_ppm = 200.0;
+  config.protocol.faults.drop_probability = 0.05;
+  config.protocol.faults.fade_rate_per_min = 20.0;
+  config.protocol.faults.fade_mean_duration_ms = 400.0;
+  return config;
+}
+
+// Exact equality on every field, doubles included: the whole simulation is
+// integer-slot arithmetic plus deterministic RNG draws, so replays must be
+// bit-identical, not merely close.
+void expect_identical(const core::RunMetrics& a, const core::RunMetrics& b) {
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.convergence_ms, b.convergence_ms);
+  EXPECT_EQ(a.sync_ms, b.sync_ms);
+  EXPECT_EQ(a.discovery_ms, b.discovery_ms);
+  EXPECT_EQ(a.locally_converged, b.locally_converged);
+  EXPECT_EQ(a.local_sync_ms, b.local_sync_ms);
+  EXPECT_EQ(a.rach1_messages, b.rach1_messages);
+  EXPECT_EQ(a.rach2_messages, b.rach2_messages);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.mean_neighbors_discovered, b.mean_neighbors_discovered);
+  EXPECT_EQ(a.mean_service_peers, b.mean_service_peers);
+  EXPECT_EQ(a.ranging_mean_abs_rel_error, b.ranging_mean_abs_rel_error);
+  EXPECT_EQ(a.ranging_p90_rel_error, b.ranging_p90_rel_error);
+  EXPECT_EQ(a.final_fragments, b.final_fragments);
+  EXPECT_EQ(a.tree_edges, b.tree_edges);
+  EXPECT_EQ(a.tree_weight_dbm, b.tree_weight_dbm);
+  EXPECT_EQ(a.tree_service_affinity, b.tree_service_affinity);
+  EXPECT_EQ(a.total_energy_mj, b.total_energy_mj);
+  EXPECT_EQ(a.mean_device_energy_mj, b.mean_device_energy_mj);
+  EXPECT_EQ(a.energy_per_neighbor_mj, b.energy_per_neighbor_mj);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.fade_episodes, b.fade_episodes);
+  EXPECT_EQ(a.fault_drops, b.fault_drops);
+  EXPECT_EQ(a.resyncs, b.resyncs);
+  EXPECT_EQ(a.mean_resync_ms, b.mean_resync_ms);
+  EXPECT_EQ(a.max_resync_ms, b.max_resync_ms);
+  EXPECT_EQ(a.sync_uptime, b.sync_uptime);
+  EXPECT_EQ(a.in_sync_at_end, b.in_sync_at_end);
+  EXPECT_EQ(a.repair_messages, b.repair_messages);
+  EXPECT_EQ(a.alive_at_end, b.alive_at_end);
+  EXPECT_EQ(a.partitioned, b.partitioned);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.simulated_ms, b.simulated_ms);
+}
+
+TEST(DeterminismFaults, SameSeedSamePlanBitIdenticalMetrics) {
+  for (const core::Protocol protocol : {core::Protocol::kSt, core::Protocol::kFst}) {
+    const core::ScenarioConfig config = faulted_config(11);
+    const core::RunMetrics first = core::run_trial(protocol, config);
+    const core::RunMetrics second = core::run_trial(protocol, config);
+    // The faults actually happened (the test would be vacuous otherwise).
+    EXPECT_GT(first.crashes, 0U);
+    EXPECT_GT(first.fault_drops, 0U);
+    expect_identical(first, second);
+  }
+}
+
+TEST(DeterminismFaults, MetricsIndependentOfThreadPoolSize) {
+  // Fan the same 8 faulted trials out on 1 thread and on 4: each trial owns
+  // its simulator, channel, radio and RNG streams, so the schedule of the
+  // pool must not leak into any metric.
+  constexpr std::size_t kTrials = 8;
+  auto run_all = [](std::size_t threads) {
+    std::vector<core::RunMetrics> out(kTrials);
+    util::ThreadPool pool(threads);
+    pool.parallel_for(kTrials, [&out](std::size_t i) {
+      out[i] = core::run_trial(core::Protocol::kSt,
+                               faulted_config(100 + static_cast<std::uint64_t>(i)));
+    });
+    return out;
+  };
+  const std::vector<core::RunMetrics> serial = run_all(1);
+  const std::vector<core::RunMetrics> parallel = run_all(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(DeterminismFaults, DifferentSeedsDiverge) {
+  // Sanity guard for the fixture itself: distinct master seeds must give
+  // distinct runs (otherwise the identical-metrics checks prove nothing).
+  const core::RunMetrics a = core::run_trial(core::Protocol::kSt, faulted_config(11));
+  const core::RunMetrics b = core::run_trial(core::Protocol::kSt, faulted_config(12));
+  EXPECT_NE(a.events_processed, b.events_processed);
+}
+
+}  // namespace

@@ -1,0 +1,275 @@
+// Tests for the fault-injection subsystem: FaultInjector schedule
+// expansion (src/fault/), the radio's down/fault-hook plumbing and the
+// engine's crash/recover lifecycle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/st.hpp"
+#include "fault/fault_injector.hpp"
+#include "mac/radio.hpp"
+
+namespace {
+
+using namespace firefly;
+using fault::ChurnEvent;
+using fault::FadeEpisode;
+using fault::FaultInjector;
+using fault::FaultPlan;
+
+FaultPlan busy_plan() {
+  FaultPlan plan;
+  plan.churn_rate_per_min = 30.0;
+  plan.mean_downtime_ms = 1500.0;
+  plan.drift_max_ppm = 200.0;
+  plan.drop_probability = 0.1;
+  plan.fade_rate_per_min = 60.0;
+  plan.fade_mean_duration_ms = 400.0;
+  return plan;
+}
+
+TEST(FaultPlan, EnabledFlags) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.drift_max_ppm = 10.0;
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_FALSE(plan.churn_enabled());
+  EXPECT_FALSE(plan.channel_enabled());
+  plan = {};
+  plan.scheduled.push_back(ChurnEvent{100, 0, true});
+  EXPECT_TRUE(plan.churn_enabled());
+  plan = {};
+  plan.drop_probability = 0.01;
+  EXPECT_TRUE(plan.channel_enabled());
+}
+
+TEST(FaultInjector, SchedulesAreDeterministic) {
+  const FaultInjector a(busy_plan(), 20, 60'000, 42);
+  const FaultInjector b(busy_plan(), 20, 60'000, 42);
+  EXPECT_EQ(a.churn_schedule(), b.churn_schedule());
+  EXPECT_EQ(a.fade_schedule(), b.fade_schedule());
+  for (std::uint32_t d = 0; d < 20; ++d) {
+    EXPECT_EQ(a.drift_ppm(d), b.drift_ppm(d));
+  }
+  // A different master seed produces a different schedule.
+  const FaultInjector c(busy_plan(), 20, 60'000, 43);
+  EXPECT_NE(a.churn_schedule(), c.churn_schedule());
+}
+
+TEST(FaultInjector, NeverCrashesADownDevice) {
+  const FaultInjector inj(busy_plan(), 10, 120'000, 7);
+  ASSERT_FALSE(inj.churn_schedule().empty());
+  std::vector<bool> down(10, false);
+  std::int64_t last_slot = 0;
+  for (const ChurnEvent& e : inj.churn_schedule()) {
+    EXPECT_GE(e.slot, last_slot) << "schedule must be sorted";
+    last_slot = e.slot;
+    EXPECT_LT(e.slot, 120'000);
+    EXPECT_LT(e.device, 10U);
+    if (e.crash) {
+      EXPECT_FALSE(down[e.device]) << "crash of an already-down device";
+      down[e.device] = true;
+    } else {
+      EXPECT_TRUE(down[e.device]) << "recovery of a device that is up";
+      down[e.device] = false;
+    }
+  }
+}
+
+TEST(FaultInjector, ChurnStopLeavesAQuietTail) {
+  FaultPlan plan;
+  plan.churn_rate_per_min = 60.0;
+  plan.mean_downtime_ms = 1000.0;
+  plan.churn_stop_ms = 30'000.0;
+  const FaultInjector inj(plan, 10, 120'000, 11);
+  ASSERT_FALSE(inj.churn_schedule().empty());
+  for (const ChurnEvent& e : inj.churn_schedule()) {
+    if (e.crash) EXPECT_LT(e.slot, 30'000);
+  }
+}
+
+TEST(FaultInjector, ScheduledChurnReplayedVerbatimAndHorizonFiltered) {
+  FaultPlan plan;
+  plan.scheduled = {ChurnEvent{500, 2, true}, ChurnEvent{2'500, 2, false},
+                    ChurnEvent{99'999, 1, true}};
+  const FaultInjector inj(plan, 5, 10'000, 3);
+  ASSERT_EQ(inj.churn_schedule().size(), 2U);  // beyond-horizon event dropped
+  EXPECT_EQ(inj.churn_schedule()[0], (ChurnEvent{500, 2, true}));
+  EXPECT_EQ(inj.churn_schedule()[1], (ChurnEvent{2'500, 2, false}));
+}
+
+TEST(FaultInjector, DriftWithinBoundsAndZeroWhenDisabled) {
+  const FaultInjector inj(busy_plan(), 50, 10'000, 9);
+  bool any_nonzero = false;
+  for (std::uint32_t d = 0; d < 50; ++d) {
+    EXPECT_LE(std::abs(inj.drift_ppm(d)), 200.0);
+    if (inj.drift_ppm(d) != 0.0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+  const FaultInjector off(FaultPlan{}, 50, 10'000, 9);
+  for (std::uint32_t d = 0; d < 50; ++d) EXPECT_EQ(off.drift_ppm(d), 0.0);
+}
+
+TEST(FaultInjector, DropStreamMatchesProbabilityAndReplays) {
+  FaultPlan plan;
+  plan.drop_probability = 0.3;
+  FaultInjector a(plan, 2, 1'000, 77);
+  FaultInjector b(plan, 2, 1'000, 77);
+  int drops = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const bool d = a.drop_reception();
+    EXPECT_EQ(d, b.drop_reception()) << "drop stream must replay";
+    if (d) ++drops;
+  }
+  EXPECT_NEAR(drops / 10'000.0, 0.3, 0.03);
+  FaultInjector off(FaultPlan{}, 2, 1'000, 77);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(off.drop_reception());
+}
+
+TEST(FaultInjector, OverlappingFadesKeepTheLinkFaded) {
+  FaultPlan plan;
+  plan.fade_rate_per_min = 1.0;  // enables the channel path
+  plan.fade_depth_db = 40.0;
+  FaultInjector inj(plan, 4, 10'000, 5);
+  const FadeEpisode first{100, 500, 1, 2};
+  const FadeEpisode second{200, 800, 1, 2};
+  EXPECT_EQ(inj.link_attenuation_db(1, 2), 0.0);
+  inj.fade_started(first);
+  inj.fade_started(second);
+  EXPECT_EQ(inj.link_attenuation_db(1, 2), 40.0);
+  EXPECT_EQ(inj.link_attenuation_db(2, 1), 40.0);  // symmetric
+  EXPECT_EQ(inj.link_attenuation_db(0, 3), 0.0);   // other links clear
+  inj.fade_ended(first);
+  EXPECT_EQ(inj.link_attenuation_db(1, 2), 40.0) << "second episode still open";
+  inj.fade_ended(second);
+  EXPECT_EQ(inj.link_attenuation_db(1, 2), 0.0);
+}
+
+TEST(RadioFaults, DownDeviceNeitherSendsNorReceives) {
+  sim::Simulator sim;
+  auto channel = phy::make_paper_channel(1);
+  mac::RadioMedium radio(&sim, channel.get());
+  int heard_by_1 = 0;
+  int heard_by_2 = 0;
+  radio.add_device(0, {0.0, 0.0}, [](const mac::Reception&) {});
+  radio.add_device(1, {10.0, 0.0}, [&](const mac::Reception&) { ++heard_by_1; });
+  radio.add_device(2, {10.0, 1.0}, [&](const mac::Reception&) { ++heard_by_2; });
+  radio.set_down(2, true);
+  EXPECT_TRUE(radio.is_down(2));
+  sim.schedule_at(sim::SimTime::zero(), [&] {
+    radio.broadcast(0, {mac::RachCodec::kRach1, 0}, mac::PsType::kSyncPulse, 0);
+    radio.broadcast(2, {mac::RachCodec::kRach1, 1}, mac::PsType::kSyncPulse, 0);
+  });
+  sim.run();
+  EXPECT_EQ(heard_by_1, 1) << "only device 0's broadcast goes out";
+  EXPECT_EQ(heard_by_2, 0);
+  EXPECT_EQ(radio.counters().rach1_tx, 1U) << "a down sender is not metered";
+}
+
+TEST(RadioFaults, HookVetoIsCountedAndAttenuationFlowsThrough) {
+  sim::Simulator sim;
+  auto channel = phy::make_paper_channel(1);
+  mac::RadioMedium radio(&sim, channel.get());
+  int heard = 0;
+  radio.add_device(0, {0.0, 0.0}, [](const mac::Reception&) {});
+  radio.add_device(1, {10.0, 0.0}, [&](const mac::Reception&) { ++heard; });
+  bool veto = true;
+  radio.set_fault_hook([&](std::uint32_t, std::uint32_t, mac::PsType, util::Dbm power)
+                           -> std::optional<util::Dbm> {
+    if (veto) return std::nullopt;
+    return power;  // pass through unchanged
+  });
+  sim.schedule_at(sim::SimTime::zero(), [&] {
+    radio.broadcast(0, {mac::RachCodec::kRach1, 0}, mac::PsType::kSyncPulse, 0);
+  });
+  sim.run_until(sim::SimTime::milliseconds(2));
+  EXPECT_EQ(heard, 0);
+  EXPECT_EQ(radio.counters().fault_drops, 1U);
+  veto = false;
+  sim.schedule_at(sim.now(), [&] {
+    radio.broadcast(0, {mac::RachCodec::kRach1, 0}, mac::PsType::kSyncPulse, 0);
+  });
+  sim.run();
+  EXPECT_EQ(heard, 1);
+  EXPECT_EQ(radio.counters().fault_drops, 1U);
+}
+
+// Exposes the protected stepping interface for lifecycle tests.
+class SteppableSt : public core::StEngine {
+ public:
+  using core::StEngine::StEngine;
+  using core::StEngine::collect_metrics;
+  using core::StEngine::crash_device;
+  using core::StEngine::recover_device;
+  using core::StEngine::start_run;
+  sim::Simulator& sim() { return sim_; }
+  const core::Device& device(std::uint32_t id) const { return devices_[id]; }
+};
+
+TEST(EngineFaults, CrashParksAndRecoverColdBoots) {
+  const std::vector<geo::Vec2> positions{{0.0, 0.0}, {15.0, 0.0}, {0.0, 15.0}};
+  core::ProtocolParams params;
+  params.max_periods = 100;
+  params.stop_on_convergence = false;
+  SteppableSt engine(positions, params, phy::RadioParams{}, 21);
+  engine.start_run();
+  engine.sim().run_until(sim::SimTime::milliseconds(1'000));
+  ASSERT_FALSE(engine.device(1).neighbors.empty());
+
+  engine.crash_device(1);
+  EXPECT_TRUE(engine.device(1).down);
+  engine.sim().run_until(sim::SimTime::milliseconds(2'000));
+  const std::int64_t fire_while_down = engine.device(1).last_fire_slot;
+  engine.sim().run_until(sim::SimTime::milliseconds(3'000));
+  EXPECT_EQ(engine.device(1).last_fire_slot, fire_while_down)
+      << "a crashed oscillator must not fire";
+
+  engine.recover_device(1);
+  EXPECT_FALSE(engine.device(1).down);
+  EXPECT_TRUE(engine.device(1).neighbors.empty()) << "cold boot clears the table";
+  EXPECT_TRUE(engine.device(1).is_head) << "ST restarts as a singleton head";
+  EXPECT_EQ(engine.device(1).fragment_size, 1U);
+  engine.sim().run_until(sim::SimTime::milliseconds(5'000));
+  EXPECT_GT(engine.device(1).last_fire_slot, fire_while_down) << "oscillator restarted";
+  EXPECT_FALSE(engine.device(1).neighbors.empty()) << "rediscovers the neighbourhood";
+
+  const core::RunMetrics m = engine.collect_metrics();
+  EXPECT_EQ(m.crashes, 1U);
+  EXPECT_EQ(m.recoveries, 1U);
+  EXPECT_EQ(m.alive_at_end, 3U);
+}
+
+TEST(EngineFaults, FaultedRunObservesThroughConvergence) {
+  // With a fault plan the engine must keep running past first convergence
+  // (resilience is measured on the tail), even though the config asks for
+  // stop_on_convergence.
+  core::ScenarioConfig config;
+  config.n = 20;
+  config.seed = 31;
+  config.area_policy = core::AreaPolicy::kFixed;
+  config.protocol.max_periods = 120;
+  config.protocol.stop_on_convergence = true;
+  config.protocol.faults.drop_probability = 0.02;
+  const core::RunMetrics m = core::run_trial(core::Protocol::kSt, config);
+  ASSERT_TRUE(m.converged);
+  EXPECT_GE(m.simulated_ms, static_cast<double>(config.protocol.max_slots()));
+  EXPECT_GT(m.fault_drops, 0U);
+  EXPECT_GT(m.sync_uptime, 0.0);
+}
+
+TEST(EngineFaults, DeepFadesAreMeteredAndSurvived) {
+  core::ScenarioConfig config;
+  config.n = 20;
+  config.seed = 8;
+  config.area_policy = core::AreaPolicy::kFixed;
+  config.protocol.max_periods = 200;
+  config.protocol.faults.fade_rate_per_min = 120.0;
+  config.protocol.faults.fade_mean_duration_ms = 500.0;
+  const core::RunMetrics m = core::run_trial(core::Protocol::kSt, config);
+  EXPECT_GT(m.fade_episodes, 0U);
+  EXPECT_TRUE(m.converged);
+}
+
+}  // namespace
