@@ -10,12 +10,16 @@
 // partially-listening population).
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/scenario.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace firefly;
   using util::Table;
+
+  bench::BenchJson json("ablation_duty", &argc, argv);
+  json.write_meta();
 
   std::cout << "Duty-cycle ablation: ST on 30 devices, Table I box, 2 seeds/point\n";
 
@@ -54,6 +58,7 @@ int main() {
   }
   table.print(std::cout);
   table.write_csv("ablation_duty.csv");
+  json.write_table(table, "duty_cycle");
 
   std::cout << "\nReading: the energy *rate* falls monotonically with duty, but the\n"
                "latency climbs far faster, so the total energy spent reaching\n"

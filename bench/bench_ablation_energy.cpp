@@ -11,9 +11,11 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace firefly;
   using util::Table;
+
+  bench::BenchJson json("ablation_energy", &argc, argv);
 
   std::cout << "Energy-to-convergence ablation (700/300/10 mW tx/rx/idle slots)\n";
 
@@ -48,6 +50,8 @@ int main() {
   }
   table.print(std::cout);
   table.write_csv("ablation_energy.csv");
+  json.write_meta(config);
+  json.write_table(table, "energy");
 
   std::cout << "\nReading: a genuine crossover.  At small scale ST costs MORE energy —\n"
                "its spread-out beacons and sync floods all get decoded (and decoding\n"

@@ -82,7 +82,10 @@ void add_rows(util::Table& table, const std::string& level, const Cell& st, cons
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson json("ablation_faults", &argc, argv);
+  json.write_meta();
+
   const std::size_t trials = bench::env_or("FIREFLY_BENCH_TRIALS", 3);
   std::cout << "Fault-resilience ablation: 30 devices, Table I box, " << trials
             << " seeds/point\n";
@@ -152,6 +155,7 @@ int main() {
 
   table.print(std::cout);
   table.write_csv("ablation_faults.csv");
+  json.write_table(table, "faults");
 
   std::cout << "\nReading: ST re-converges after churn at every swept rate once the\n"
                "churn stops — the head lease re-elects around crashed heads and\n"

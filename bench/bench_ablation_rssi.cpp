@@ -9,15 +9,19 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "phy/pathloss.hpp"
 #include "phy/rssi.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace firefly;
   using util::Table;
+
+  bench::BenchJson json("ablation_rssi", &argc, argv);
+  json.write_meta();
 
   std::cout << "RSSI ranging ablation: relative error vs shadowing and exponent\n"
             << "(eqs. 6, 11, 12; Monte-Carlo vs closed form)\n";
@@ -45,6 +49,7 @@ int main() {
   }
   table.print(std::cout);
   table.write_csv("ablation_rssi.csv");
+  json.write_table(table, "ranging_ablation");
 
   // End-to-end: ranging through the dual-slope model across distances.
   Table e2e("End-to-end ranging through the Table I dual-slope model (sigma = 10 dB)");
@@ -63,6 +68,7 @@ int main() {
                  Table::num(estimates.percentile(90.0), 1)});
   }
   e2e.print(std::cout);
+  json.write_table(e2e, "end_to_end");
   std::cout << "\nTakeaways: error is median-unbiased but mean-biased upward;\n"
                "outdoor (n = 4) ranging is materially more accurate than indoor\n"
                "(n = 2) at equal shadowing — the 1/n scaling of eq. (12).\n"

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/scenario.hpp"
 #include "graph/mst.hpp"
 #include "pco/network_pco.hpp"
@@ -81,7 +82,10 @@ TopologyRun run_topology(const graph::Graph& coupling, double epsilon, int trial
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson json("ablation_topology", &argc, argv);
+  json.write_meta();
+
   std::cout << "Topology ablation: PCO convergence under mesh / tree / k-NN coupling\n"
             << "(idealised continuous-time oscillators on Table I deployments)\n";
 
@@ -116,6 +120,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  json.write_table(table, "topology");
 
   Table eps_table("Coupling-strength sweep on 100 nodes (mesh vs tree)");
   eps_table.set_headers({"epsilon", "mesh time (s)", "mesh pulses", "tree time (s)",
@@ -141,6 +146,7 @@ int main() {
     }
   }
   eps_table.print(std::cout);
+  json.write_table(eps_table, "epsilon_sweep");
 
   std::cout << "\nReading: trees need fewer pulses per cycle but pure PCO dynamics\n"
                "converge slower on them — exactly why the ST protocol adopts the\n"

@@ -4,24 +4,165 @@
 // describes — device counts from 50 to 1000 at the Table I density, several
 // Monte-Carlo seeds — and prints the series the figure plots.  Environment
 // variables trim the sweep for quick runs:
-//   FIREFLY_BENCH_TRIALS  (default 3)
-//   FIREFLY_BENCH_MAX_N   (default 1000)
+//   FIREFLY_BENCH_TRIALS    (default 3)
+//   FIREFLY_BENCH_MAX_N     (default 1000)
+//   FIREFLY_BENCH_PROGRESS  (set to anything for a stderr ETA line)
+//
+// Every bench also emits a machine-readable JSONL snapshot when asked:
+//   bench_fig3 --json fig3.json     # or FIREFLY_BENCH_JSON=fig3.json
+// The first line is a meta record (schema, bench name, git sha, compiler,
+// trial count); subsequent lines are data records.  Output is deterministic:
+// rerunning the same binary with the same seeds produces a byte-identical
+// file (wall-clock values are deliberately excluded).
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "obs/build_info.hpp"
+#include "obs/json.hpp"
+#include "obs/progress.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
 
 namespace firefly::bench {
 
+/// Strict environment override: malformed or zero values are rejected with a
+/// one-time stderr warning and the fallback is used (see util::env_size_t).
 inline std::size_t env_or(const char* name, std::size_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  const auto parsed = std::strtoull(value, nullptr, 10);
-  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+  return util::env_size_t(name, fallback);
 }
+
+/// Machine-readable JSONL output for a bench binary.
+///
+/// Consumes `--json <path>` / `--json=<path>` from argv (compacting argc so
+/// later argv consumers — e.g. google-benchmark — never see the flag) and
+/// falls back to the FIREFLY_BENCH_JSON environment variable.  Disabled when
+/// neither is given; all write_* calls are then no-ops.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, int* argc, char** argv) : bench_(std::move(bench)) {
+    std::string path;
+    int write = 1;
+    for (int read = 1; read < *argc; ++read) {
+      const std::string_view arg = argv[read];
+      if (arg == "--json") {
+        if (read + 1 >= *argc) {
+          std::cerr << bench_ << ": --json requires a path argument\n";
+          std::exit(2);
+        }
+        path = argv[++read];
+        continue;
+      }
+      if (arg.rfind("--json=", 0) == 0) {
+        path = std::string(arg.substr(7));
+        continue;
+      }
+      argv[write++] = argv[read];
+    }
+    *argc = write;
+    if (path.empty()) {
+      if (const char* env = std::getenv("FIREFLY_BENCH_JSON")) path = env;
+    }
+    if (path.empty()) return;
+    out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!out_) {
+      std::cerr << bench_ << ": cannot open --json output '" << path << "'\n";
+      std::exit(2);
+    }
+    path_ = std::move(path);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return out_.is_open(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// First line of the file: schema + provenance (benches without a sweep).
+  void write_meta() {
+    if (!out_.is_open()) return;
+    obs::JsonWriter w(out_);
+    w.begin_object();
+    w.field("schema", "firefly-bench-v1");
+    w.field("bench", std::string_view(bench_));
+    obs::write_build_info_fields(w);
+    w.end_object();
+    out_ << '\n';
+  }
+
+  /// First line of the file: schema + provenance + sweep shape.
+  void write_meta(const core::SweepConfig& config) {
+    if (!out_.is_open()) return;
+    obs::JsonWriter w(out_);
+    w.begin_object();
+    w.field("schema", "firefly-bench-v1");
+    w.field("bench", std::string_view(bench_));
+    obs::write_build_info_fields(w);
+    w.field("trials", static_cast<std::uint64_t>(config.trials));
+    w.field("master_seed", config.master_seed);
+    w.key("ns").begin_array();
+    for (const std::size_t n : config.ns) w.value(static_cast<std::uint64_t>(n));
+    w.end_array();
+    w.end_object();
+    out_ << '\n';
+  }
+
+  /// One JSONL record per sweep point.
+  void write_series(core::Protocol protocol, const std::vector<core::SweepPoint>& points) {
+    if (!out_.is_open()) return;
+    for (const core::SweepPoint& point : points) {
+      obs::JsonWriter w(out_);
+      core::write_sweep_point_json(w, point, protocol, bench_.c_str());
+      out_ << '\n';
+    }
+  }
+
+  /// One JSONL record per table row:
+  /// {"bench":..,"series":..,"columns":[headers],"cells":[row]}.
+  /// The stringly-typed mirror of the printed table — useful for diffing and
+  /// regression tracking without re-deriving the bench's own aggregation.
+  void write_table(const util::Table& table, std::string_view series) {
+    if (!out_.is_open()) return;
+    for (const std::vector<std::string>& row : table.row_data()) {
+      obs::JsonWriter w(out_);
+      w.begin_object();
+      w.field("bench", std::string_view(bench_));
+      w.field("series", series);
+      w.key("columns").begin_array();
+      for (const std::string& h : table.headers()) w.value(std::string_view(h));
+      w.end_array();
+      w.key("cells").begin_array();
+      for (const std::string& c : row) w.value(std::string_view(c));
+      w.end_array();
+      w.end_object();
+      out_ << '\n';
+    }
+  }
+
+  /// Free-form record: {"bench":...,<caller fields>}.  The callback receives
+  /// the writer with the object already open.
+  template <typename Fn>
+  void write_object(Fn&& fn) {
+    if (!out_.is_open()) return;
+    obs::JsonWriter w(out_);
+    w.begin_object();
+    w.field("bench", std::string_view(bench_));
+    fn(w);
+    w.end_object();
+    out_ << '\n';
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::ofstream out_;
+};
 
 inline core::SweepConfig paper_sweep() {
   core::SweepConfig config;
@@ -43,10 +184,16 @@ struct PaperSweepResult {
 };
 
 inline PaperSweepResult run_paper_sweep() {
-  const core::SweepConfig config = paper_sweep();
+  core::SweepConfig config = paper_sweep();
+  std::optional<obs::ProgressReporter> progress;
+  if (std::getenv("FIREFLY_BENCH_PROGRESS") != nullptr) {
+    progress.emplace("sweep", 2 * config.total_trials());
+    config.progress = &*progress;
+  }
   PaperSweepResult result;
   result.fst = core::sweep(core::Protocol::kFst, config);
   result.st = core::sweep(core::Protocol::kSt, config);
+  if (progress) progress->finish();
   return result;
 }
 

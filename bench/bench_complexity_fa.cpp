@@ -15,6 +15,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "fa/firefly.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -55,7 +56,7 @@ void BM_RankOrderedGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_RankOrderedGeneration)->RangeMultiplier(2)->Range(64, 8192)->Complexity();
 
-void print_comparison_table() {
+void print_comparison_table(bench::BenchJson& json) {
   using util::Table;
   Table table("§V complexity claim — brightness comparisons per generation");
   table.set_headers({"population", "classic O(n^2)", "rank-ordered O(n log n)", "ratio"});
@@ -77,18 +78,28 @@ void print_comparison_table() {
                               1)});
   }
   table.print(std::cout);
-  std::cout << "fitted log-log slope, classic:      "
-            << util::fit_loglog_slope(ns, classic) << " (paper claim: 2 = O(n^2))\n"
-            << "fitted log-log slope, rank-ordered: "
-            << util::fit_loglog_slope(ns, ordered)
+  json.write_table(table, "comparisons");
+  const double classic_slope = util::fit_loglog_slope(ns, classic);
+  const double ordered_slope = util::fit_loglog_slope(ns, ordered);
+  std::cout << "fitted log-log slope, classic:      " << classic_slope
+            << " (paper claim: 2 = O(n^2))\n"
+            << "fitted log-log slope, rank-ordered: " << ordered_slope
             << " (paper claim: ~1.1 = O(n log n))\n";
+  json.write_object([&](obs::JsonWriter& w) {
+    w.field("series", "loglog_slopes");
+    w.field("classic_slope", classic_slope);
+    w.field("rank_ordered_slope", ordered_slope);
+  });
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // BenchJson consumes --json before google-benchmark sees the arguments.
+  firefly::bench::BenchJson json("complexity_fa", &argc, argv);
+  json.write_meta();
   std::cout << "Reproducing the paper's O(n^2) vs O(n log n) claim (Section V)\n";
-  print_comparison_table();
+  print_comparison_table(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

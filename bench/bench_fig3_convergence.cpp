@@ -15,15 +15,22 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace firefly;
   using util::Table;
+
+  bench::BenchJson json("fig3_convergence", &argc, argv);
 
   std::cout << "Reproducing Fig. 3: convergence time vs number of nodes\n"
             << "(Table I scenario, density-scaled area, "
             << bench::paper_sweep().trials << " seeds per point)\n";
 
   const bench::PaperSweepResult sweep = bench::run_paper_sweep();
+  if (json) {
+    json.write_meta(bench::paper_sweep());
+    json.write_series(core::Protocol::kFst, sweep.fst);
+    json.write_series(core::Protocol::kSt, sweep.st);
+  }
 
   Table table("Fig. 3 — convergence time (ms)");
   table.set_headers({"nodes", "FST mean", "FST ci95", "ST mean", "ST ci95",

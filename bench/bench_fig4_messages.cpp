@@ -14,15 +14,22 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace firefly;
   using util::Table;
+
+  bench::BenchJson json("fig4_messages", &argc, argv);
 
   std::cout << "Reproducing Fig. 4: messages exchanged until convergence vs nodes\n"
             << "(Table I scenario, density-scaled area, "
             << bench::paper_sweep().trials << " seeds per point)\n";
 
   const bench::PaperSweepResult sweep = bench::run_paper_sweep();
+  if (json) {
+    json.write_meta(bench::paper_sweep());
+    json.write_series(core::Protocol::kFst, sweep.fst);
+    json.write_series(core::Protocol::kSt, sweep.st);
+  }
 
   Table table("Fig. 4 — average messages exchanged until convergence");
   table.set_headers({"nodes", "FST total", "ST total", "ST RACH1", "ST RACH2",

@@ -2,6 +2,12 @@
 // reference MSTs, PRC evaluation, oscillator updates and a radio slot flush.
 // These pin the constants behind the protocol-level numbers and catch
 // performance regressions in the substrates.
+//
+// Machine-readable output: this bench is pure google-benchmark, so it keeps
+// the native reporter (`--benchmark_format=json --benchmark_out=...`) rather
+// than the firefly-bench-v1 JSONL the figure benches emit — wall-clock
+// timings are inherently non-deterministic, so byte-identical reruns are
+// not a goal here.
 #include <benchmark/benchmark.h>
 
 #include <memory>

@@ -9,15 +9,19 @@
 //   * the RSSI ranging error distribution at the Table I shadowing.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/scenario.hpp"
 #include "phy/channel.hpp"
 #include "phy/rssi.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace firefly;
   using util::Table;
+
+  bench::BenchJson json("table1_parameters", &argc, argv);
+  json.write_meta();
 
   const core::ScenarioConfig config;  // Table I defaults
 
@@ -33,6 +37,7 @@ int main() {
   params.add_row({"Propagation model",
                   "PL = 4.35 + 25 log10(d) if d < 6; PL = 40.0 + 40 log10(d) otherwise"});
   params.print(std::cout);
+  json.write_table(params, "parameters");
 
   // --- propagation curve ---
   const auto model = phy::make_paper_model();
@@ -45,10 +50,15 @@ int main() {
                    rx >= config.radio.detection_threshold ? "yes" : "no"});
   }
   curve.print(std::cout);
+  json.write_table(curve, "propagation");
 
   auto channel = phy::make_paper_channel(7, config.radio);
   std::cout << "\nMedian detection range (link budget 118 dB): "
             << Table::num(channel->median_range(), 1) << " m\n";
+  json.write_object([&](obs::JsonWriter& w) {
+    w.field("series", "median_range");
+    w.field("median_range_m", channel->median_range());
+  });
 
   // --- stochastic detection probability ---
   Table detect("Detection probability vs distance (shadowing 10 dB + Rayleigh)");
@@ -69,6 +79,7 @@ int main() {
                     Table::num(detected / static_cast<double>(trials), 3)});
   }
   detect.print(std::cout);
+  json.write_table(detect, "detection");
 
   // --- ranging error at Table I shadowing ---
   const phy::RangingErrorStats stats =
@@ -80,6 +91,7 @@ int main() {
   ranging.add_row({"median ratio", Table::num(stats.median_ratio, 3)});
   ranging.add_row({"90th percentile ratio", Table::num(stats.p90_ratio, 3)});
   ranging.print(std::cout);
+  json.write_table(ranging, "ranging");
 
   std::cout << "\nAll Table I parameters configured verbatim from the paper.\n";
   return 0;

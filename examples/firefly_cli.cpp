@@ -17,10 +17,25 @@
 //   --churn-stop <ms> [-1 = never]  --drift <max ppm> [0]
 //   --drop <probability> [0]        --fade-rate <fades/min> [0]
 //   --fade-ms <mean ms> [500]       --fade-depth <dB> [60]
+//
+// Observability (see DESIGN.md "Observability"):
+//   --telemetry               print a metric-registry summary after the runs
+//   --trace-chrome <path>     write a Chrome trace-event file of the
+//                             instrumented spans (load in ui.perfetto.dev)
+//   --metrics-out <path>      JSONL: one run-metrics record per trial plus a
+//                             final registry snapshot
+//   --trace-csv <path>        protocol milestone trace (fires, merges, ...)
+//   --trace-capacity <n>      ring-buffer the milestone trace to the most
+//                             recent n events [0 = unlimited]
+#include <fstream>
 #include <iostream>
 
 #include "core/experiment.hpp"
+#include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "core/trace.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -35,7 +50,9 @@ int main(int argc, char** argv) {
                  "       [--area scaled|fixed] [--epsilon E] [--period SLOTS]\n"
                  "       [--periods MAX] [--mobility MPS] [--csv PATH]\n"
                  "       [--churn PER_MIN] [--downtime MS] [--churn-stop MS] [--drift PPM]\n"
-                 "       [--drop P] [--fade-rate PER_MIN] [--fade-ms MS] [--fade-depth DB]\n";
+                 "       [--drop P] [--fade-rate PER_MIN] [--fade-ms MS] [--fade-depth DB]\n"
+                 "       [--telemetry] [--trace-chrome PATH] [--metrics-out PATH]\n"
+                 "       [--trace-csv PATH] [--trace-capacity N]\n";
     return 0;
   }
 
@@ -62,6 +79,37 @@ int main(int argc, char** argv) {
   faults.fade_depth_db = flags.get("fade-depth", faults.fade_depth_db);
   const auto trials = static_cast<std::size_t>(flags.get("trials", std::int64_t{1}));
 
+  // --- observability wiring (all optional, all off by default) ---
+  const std::string trace_chrome = flags.get("trace-chrome", std::string());
+  const std::string metrics_out = flags.get("metrics-out", std::string());
+  const std::string trace_csv = flags.get("trace-csv", std::string());
+  const auto trace_capacity =
+      static_cast<std::size_t>(flags.get("trace-capacity", std::int64_t{0}));
+  const bool telemetry_on =
+      flags.has("telemetry") || !trace_chrome.empty() || !metrics_out.empty();
+
+  obs::Telemetry telemetry;  // one context across every trial of this invocation
+  obs::SpanSink spans;
+  core::TraceSink trace;
+  core::RunHooks hooks;
+  if (telemetry_on) {
+    hooks.telemetry = &telemetry;
+    if (!trace_chrome.empty()) telemetry.attach_spans(&spans);
+  }
+  if (!trace_csv.empty()) {
+    trace.set_capacity(trace_capacity);
+    if (telemetry_on) trace.set_drop_counter(&telemetry.registry().counter("trace.dropped"));
+    hooks.trace = &trace;
+  }
+  std::ofstream metrics_ofs;
+  if (!metrics_out.empty()) {
+    metrics_ofs.open(metrics_out, std::ios::binary | std::ios::trunc);
+    if (!metrics_ofs) {
+      std::cerr << "cannot open --metrics-out '" << metrics_out << "'\n";
+      return 2;
+    }
+  }
+
   const std::string protocol_arg = flags.get("protocol", std::string("both"));
   std::vector<core::Protocol> protocols;
   if (protocol_arg == "fst") protocols = {core::Protocol::kFst};
@@ -87,7 +135,18 @@ int main(int argc, char** argv) {
     for (std::size_t t = 0; t < trials; ++t) {
       core::ScenarioConfig config = base;
       config.seed = base.seed + t;
-      const core::RunMetrics m = core::run_trial(protocol, config);
+      const core::RunMetrics m = core::run_trial(protocol, config, hooks);
+      if (metrics_ofs.is_open()) {
+        obs::JsonWriter w(metrics_ofs);
+        w.begin_object();
+        w.field("protocol", core::to_string(protocol));
+        w.field("trial", static_cast<std::uint64_t>(t));
+        w.field("seed", config.seed);
+        w.key("run");
+        core::write_run_metrics_json(w, m);
+        w.end_object();
+        metrics_ofs << '\n';
+      }
       if (m.converged) {
         ++converged;
         time_ms.add(m.convergence_ms);
@@ -137,6 +196,49 @@ int main(int argc, char** argv) {
   if (!csv.empty()) {
     table.write_csv(csv);
     std::cout << "(results appended to " << csv << ")\n";
+  }
+
+  // --- observability output ---
+  if (flags.has("telemetry")) {
+    util::Table summary("telemetry (all trials of this invocation)");
+    summary.set_headers({"metric", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, c] : telemetry.registry().counters()) {
+      summary.add_row({name, util::Table::num(static_cast<std::size_t>(c.value())), "-",
+                       "-", "-", "-", "-"});
+    }
+    for (const auto& [name, h] : telemetry.registry().histograms()) {
+      summary.add_row({name, util::Table::num(static_cast<std::size_t>(h.count())),
+                       util::Table::num(h.mean(), 2), util::Table::num(h.quantile(0.5), 2),
+                       util::Table::num(h.quantile(0.9), 2),
+                       util::Table::num(h.quantile(0.99), 2),
+                       util::Table::num(h.max(), 2)});
+    }
+    summary.print(std::cout);
+  }
+  if (metrics_ofs.is_open()) {
+    obs::JsonWriter w(metrics_ofs);
+    w.begin_object();
+    w.key("telemetry");
+    telemetry.registry().write_json(w);
+    w.end_object();
+    metrics_ofs << '\n';
+    std::cout << "(metrics JSONL written to " << metrics_out << ")\n";
+  }
+  if (!trace_chrome.empty()) {
+    if (spans.write_chrome_trace(trace_chrome)) {
+      std::cout << "(Chrome trace written to " << trace_chrome << " — load in "
+                << "chrome://tracing or https://ui.perfetto.dev; " << spans.size()
+                << " spans, " << spans.dropped() << " dropped)\n";
+    } else {
+      std::cerr << "cannot open --trace-chrome '" << trace_chrome << "'\n";
+      return 2;
+    }
+  }
+  if (!trace_csv.empty()) {
+    trace.write_csv(trace_csv);
+    std::cout << "(milestone trace written to " << trace_csv << "; "
+              << trace.events().size() << " events buffered, " << trace.dropped()
+              << " overwritten)\n";
   }
   return 0;
 }

@@ -89,6 +89,13 @@ std::int64_t EngineBase::current_slot() const {
   return mac::RadioMedium::slot_index(sim_.now());
 }
 
+void EngineBase::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  fires_counter_ =
+      telemetry != nullptr ? &telemetry->registry().counter("engine.fires") : nullptr;
+  radio_.set_telemetry(telemetry);
+}
+
 void EngineBase::schedule_fire(Device& device) {
   if (device.down) return;
   if (device.fire_event != 0) sim_.cancel(device.fire_event);
@@ -123,6 +130,7 @@ void EngineBase::fire(Device& device, std::uint32_t post_counter) {
   emit_fire_broadcast(device);
   detector_.record_fire(device.id, slot);
   local_detector_.record_fire(device.id, slot);
+  if (fires_counter_ != nullptr) fires_counter_->inc();
   trace(TraceKind::kFire, device.id, post_counter);
   schedule_fire(device);
 }
@@ -139,6 +147,8 @@ std::uint16_t EngineBase::counter_field(const Device& device) const {
 }
 
 void EngineBase::apply_pulse_coupling(Device& device, const mac::Reception& reception) {
+  const obs::ScopedTimer span(telemetry_, obs::SpanId::kPcoUpdate,
+                              telemetry_ != nullptr ? sim_.now().as_milliseconds() : -1.0);
   const std::int64_t slot = current_slot();
   if (device.refractory_at(slot)) return;
   // Delay compensation: the pulse was transmitted `elapsed` slots ago, so

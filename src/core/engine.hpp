@@ -20,6 +20,7 @@
 #include "geo/mobility.hpp"
 #include "geo/point.hpp"
 #include "mac/radio.hpp"
+#include "obs/timer.hpp"
 #include "pco/sync_metrics.hpp"
 #include "phy/channel.hpp"
 #include "phy/energy.hpp"
@@ -46,6 +47,11 @@ class EngineBase {
 
   /// Attach an optional trace sink (not owned; may be null).
   void set_trace(TraceSink* sink) { trace_ = sink; }
+  /// Attach an optional telemetry context (not owned; may be null).  With
+  /// no context every instrumentation site is a single pointer test, the
+  /// run consumes no extra randomness and RunMetrics is bit-identical to
+  /// an uninstrumented run.
+  void set_telemetry(obs::Telemetry* telemetry);
 
  protected:
   /// Called once before the event loop starts.
@@ -127,6 +133,8 @@ class EngineBase {
   util::Rng control_rng_;  ///< protocol-level randomness (initial phases, jitter)
   phy::RssiRanging ranging_;
   phy::EnergyMeter energy_;
+  obs::Telemetry* telemetry_ = nullptr;   ///< null = telemetry off (default)
+  obs::Counter* fires_counter_ = nullptr; ///< pre-bound "engine.fires"
 
  private:
   void check_convergence();

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "obs/timer.hpp"
 #include "util/rng.hpp"
 
 namespace firefly::core {
@@ -43,8 +44,14 @@ std::vector<SweepPoint> sweep(Protocol protocol, const SweepConfig& config,
   std::mutex mutex;
   auto run_one = [&](std::size_t point_index, std::size_t trial) {
     const ScenarioConfig trial_cfg = trial_config(config, points[point_index].n, trial);
-    const RunMetrics metrics = run_trial(protocol, trial_cfg);
+    RunMetrics metrics;
+    {
+      const obs::ScopedTimer span(config.telemetry, obs::SpanId::kTrial);
+      metrics = run_trial(protocol, trial_cfg,
+                          RunHooks{nullptr, config.telemetry});
+    }
     accumulate(points[point_index], metrics, mutex);
+    if (config.progress != nullptr) config.progress->advance();
   };
 
   if (pool != nullptr) {

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "obs/progress.hpp"
+#include "obs/telemetry.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,6 +37,15 @@ struct SweepConfig {
   std::vector<std::size_t> ns{50, 100, 200, 400, 600, 800, 1000};
   std::size_t trials{5};
   std::uint64_t master_seed{2015};
+  /// Optional observers (non-owning, may be null).  `telemetry` records a
+  /// wall-clock span per trial and is shared safely across pooled workers;
+  /// `progress` is advanced once per completed trial (stderr ETA line).
+  /// Neither affects the simulated results.
+  obs::Telemetry* telemetry{nullptr};
+  obs::ProgressReporter* progress{nullptr};
+
+  /// Total trial count of one protocol sweep (for sizing a progress bar).
+  [[nodiscard]] std::size_t total_trials() const { return ns.size() * trials; }
 };
 
 /// One protocol across all N.  `pool` may be null (sequential).

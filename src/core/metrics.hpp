@@ -68,6 +68,10 @@ struct RunMetrics {
   // --- engine accounting ---
   std::uint64_t events_processed{0};
   double simulated_ms{0.0};
+
+  /// Field-wise equality — the telemetry-off invariance tests assert that
+  /// attaching observers leaves every reported number bit-identical.
+  [[nodiscard]] friend bool operator==(const RunMetrics&, const RunMetrics&) = default;
 };
 
 }  // namespace firefly::core

@@ -1,0 +1,34 @@
+// report.hpp — deterministic JSONL exporters for run and sweep results.
+//
+// These writers are the machine-readable counterpart of the stdout tables:
+// one JSON object per line, keys in a fixed order, doubles rendered with
+// shortest-round-trip formatting.  Two runs with the same seed produce
+// byte-identical output, so bench JSONL files can be diffed and checked
+// into golden tests.  Wall-clock quantities are deliberately excluded —
+// anything time-of-day or machine-speed dependent belongs in the telemetry
+// registry or the Chrome trace, not here.
+#pragma once
+
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "core/scenario.hpp"
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+
+namespace firefly::core {
+
+/// Summary of a util::Sample as a JSON object:
+/// {"count":..,"mean":..,"stddev":..,"ci95":..,"p50":..,"p90":..,"p99":..}.
+/// An empty sample reports count 0 and zeros (matching util::Sample).
+void write_sample_json(obs::JsonWriter& w, const util::Sample& sample);
+
+/// Every RunMetrics field as a JSON object, in declaration order.
+void write_run_metrics_json(obs::JsonWriter& w, const RunMetrics& metrics);
+
+/// One sweep point as a self-describing JSONL record:
+/// {"bench":..,"protocol":..,"n":..,"trials":..,"failure_rate":..,
+///  "convergence_ms":{..},"total_messages":{..},...}.
+void write_sweep_point_json(obs::JsonWriter& w, const SweepPoint& point,
+                            Protocol protocol, const char* bench);
+
+}  // namespace firefly::core

@@ -43,21 +43,31 @@ graph::Graph proximity_graph(const std::vector<geo::Vec2>& positions, phy::Chann
 }
 
 RunMetrics run_trial(Protocol protocol, const ScenarioConfig& config) {
+  return run_trial(protocol, config, RunHooks{});
+}
+
+namespace {
+template <typename Engine>
+RunMetrics run_with_hooks(std::vector<geo::Vec2> positions, const ScenarioConfig& config,
+                          const RunHooks& hooks) {
+  Engine engine(std::move(positions), config.protocol, config.radio, config.seed);
+  engine.set_trace(hooks.trace);
+  engine.set_telemetry(hooks.telemetry);
+  return engine.run();
+}
+}  // namespace
+
+RunMetrics run_trial(Protocol protocol, const ScenarioConfig& config,
+                     const RunHooks& hooks) {
   std::vector<geo::Vec2> positions = deploy(config);
   switch (protocol) {
-    case Protocol::kFst: {
-      FstEngine engine(std::move(positions), config.protocol, config.radio, config.seed);
-      return engine.run();
-    }
-    case Protocol::kBirthday: {
-      BirthdayEngine engine(std::move(positions), config.protocol, config.radio,
-                            config.seed);
-      return engine.run();
-    }
+    case Protocol::kFst:
+      return run_with_hooks<FstEngine>(std::move(positions), config, hooks);
+    case Protocol::kBirthday:
+      return run_with_hooks<BirthdayEngine>(std::move(positions), config, hooks);
     case Protocol::kSt: break;
   }
-  StEngine engine(std::move(positions), config.protocol, config.radio, config.seed);
-  return engine.run();
+  return run_with_hooks<StEngine>(std::move(positions), config, hooks);
 }
 
 }  // namespace firefly::core

@@ -14,9 +14,11 @@
 
 #include "core/metrics.hpp"
 #include "core/params.hpp"
+#include "core/trace.hpp"
 #include "geo/deployment.hpp"
 #include "geo/point.hpp"
 #include "graph/graph.hpp"
+#include "obs/telemetry.hpp"
 #include "phy/channel.hpp"
 
 namespace firefly::core {
@@ -56,7 +58,18 @@ struct ScenarioConfig {
 [[nodiscard]] graph::Graph proximity_graph(const std::vector<geo::Vec2>& positions,
                                            phy::Channel& channel);
 
+/// Optional observers for a trial.  Both are non-owning and may be null;
+/// attaching them changes nothing about the simulated behaviour (verified
+/// by the telemetry-off invariance tests).
+struct RunHooks {
+  TraceSink* trace = nullptr;
+  obs::Telemetry* telemetry = nullptr;
+};
+
 /// Run one trial of the chosen protocol on the scenario.
 [[nodiscard]] RunMetrics run_trial(Protocol protocol, const ScenarioConfig& config);
+/// Same, with observers attached for the duration of the trial.
+[[nodiscard]] RunMetrics run_trial(Protocol protocol, const ScenarioConfig& config,
+                                   const RunHooks& hooks);
 
 }  // namespace firefly::core

@@ -222,6 +222,8 @@ bool StEngine::has_outgoing(const Device& device) const {
 }
 
 void StEngine::attempt_connect(Device& device) {
+  const obs::ScopedTimer span(telemetry_, obs::SpanId::kHConnect,
+                              telemetry_ != nullptr ? sim_.now().as_milliseconds() : -1.0);
   const std::int64_t slot = current_slot();
   const std::uint32_t* best = best_outgoing(device);
   if (best == nullptr) {
@@ -263,6 +265,9 @@ bool StEngine::change_head(Device& device) {
 
 void StEngine::local_merge(Device& device, std::uint16_t peer_frag, std::uint16_t peer_size,
                            std::uint32_t peer_device, std::uint32_t adopted_counter) {
+  const obs::ScopedTimer span(telemetry_, obs::SpanId::kMerge,
+                              telemetry_ != nullptr ? sim_.now().as_milliseconds() : -1.0);
+  if (telemetry_ != nullptr) telemetry_->count("st.merges");
   const auto new_size = static_cast<std::uint16_t>(
       std::min<std::uint32_t>(0xFFFF, device.fragment_size + peer_size));
   const bool we_win = left_wins(device.fragment, device.fragment_size, peer_frag, peer_size);

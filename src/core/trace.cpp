@@ -28,11 +28,20 @@ std::size_t TraceSink::count(TraceKind kind) const {
                     [kind](const TraceEvent& e) { return e.kind == kind; }));
 }
 
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  // Ring order: [head_, end) is older than [0, head_).
+  for (std::size_t i = head_; i < events_.size(); ++i) out.push_back(events_[i]);
+  for (std::size_t i = 0; i < head_; ++i) out.push_back(events_[i]);
+  return out;
+}
+
 void TraceSink::write_csv(const std::string& path) const {
   std::ofstream f(path);
   if (!f) return;
   f << "time_ms,device,kind,a,b\n";
-  for (const TraceEvent& e : events_) {
+  for (const TraceEvent& e : snapshot()) {
     f << e.time_ms << ',' << e.device << ',' << to_string(e.kind) << ',' << e.a << ','
       << e.b << '\n';
   }

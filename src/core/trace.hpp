@@ -5,11 +5,19 @@
 // visualisation or debugging: every firing, every fragment merge, head
 // changes, phase adoptions and the convergence instants.  Tracing is off by
 // default and costs nothing when detached (a null check per event).
+//
+// Long chaos soaks and multi-hour CLI runs record millions of events, so
+// the sink optionally runs as a ring: `set_capacity(n)` keeps the most
+// recent n events, counts the overwritten ones in `dropped()`, and can
+// mirror that count into an obs registry counter (`set_drop_counter`).
+// The default stays unlimited for short runs and golden tests.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace firefly::core {
 
@@ -42,18 +50,48 @@ class TraceSink {
  public:
   void record(double time_ms, std::uint32_t device, TraceKind kind, std::uint32_t a = 0,
               std::uint32_t b = 0) {
-    events_.push_back(TraceEvent{time_ms, device, kind, a, b});
+    const TraceEvent event{time_ms, device, kind, a, b};
+    if (capacity_ == 0 || events_.size() < capacity_) {
+      events_.push_back(event);
+      return;
+    }
+    events_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+    if (drop_counter_ != nullptr) drop_counter_->inc();
   }
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
-  [[nodiscard]] std::size_t count(TraceKind kind) const;
-  void clear() { events_.clear(); }
+  /// Keep only the most recent `capacity` events (0 = unlimited).  Must be
+  /// set before recording starts; shrinking an already-full sink is not
+  /// supported.
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events overwritten by the ring since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Mirror drops into an obs registry counter (not owned; may be null).
+  void set_drop_counter(obs::Counter* counter) { drop_counter_ = counter; }
 
-  /// Write "time_ms,device,kind,a,b" rows.
+  /// Buffered events; chronological unless the ring has wrapped (use
+  /// snapshot() when order matters on capped sinks).
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  /// Buffered events in chronological order, ring or not.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::size_t count(TraceKind kind) const;
+  void clear() {
+    events_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Write "time_ms,device,kind,a,b" rows (chronological).
   void write_csv(const std::string& path) const;
 
  private:
   std::vector<TraceEvent> events_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+  obs::Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace firefly::core

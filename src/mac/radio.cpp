@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/timer.hpp"
 #include "util/log.hpp"
 
 namespace firefly::mac {
@@ -92,6 +93,12 @@ void RadioMedium::flush_slot() {
   std::vector<PendingTx> batch;
   batch.swap(pending_);
   if (batch.empty()) return;
+  const obs::ScopedTimer span(telemetry_, obs::SpanId::kSlotDelivery,
+                              telemetry_ != nullptr ? sim_->now().as_milliseconds() : -1.0);
+  if (telemetry_ != nullptr) {
+    telemetry_->observe("radio.slot_batch", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024},
+                        static_cast<double>(batch.size()));
+  }
 
   // Bucket audible transmissions by receiver, then resolve same-resource
   // collisions per receiver with the capture rule.

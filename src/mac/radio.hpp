@@ -17,6 +17,7 @@
 
 #include "geo/point.hpp"
 #include "mac/rach.hpp"
+#include "obs/telemetry.hpp"
 #include "phy/channel.hpp"
 #include "phy/energy.hpp"
 #include "sim/simulator.hpp"
@@ -99,6 +100,10 @@ class RadioMedium {
   /// Optional energy meter: charged one tx slot per broadcast and one rx
   /// slot per successful delivery.  Not owned; may be null.
   void set_energy_meter(phy::EnergyMeter* meter) { energy_ = meter; }
+  /// Optional telemetry: a slot-delivery span per flush plus a batch-size
+  /// histogram.  Not owned; null (the default) costs one pointer test per
+  /// flush and nothing per delivery.
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
   [[nodiscard]] phy::Channel& channel() { return *channel_; }
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
 
@@ -137,6 +142,7 @@ class RadioMedium {
   bool flush_scheduled_ = false;
   TrafficCounters counters_;
   phy::EnergyMeter* energy_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
   // candidates_[index_of(sender)] = receiver indices possibly in range.
   std::vector<std::vector<std::size_t>> candidates_;
   bool cache_valid_ = false;

@@ -1,0 +1,29 @@
+// build_info.hpp — build provenance for machine-readable bench output.
+//
+// Every exported JSONL stream carries an environment block (git sha,
+// compiler, build type) so a `BENCH_*.json` trajectory recorded today can
+// be attributed to the exact binary that produced it.  The git sha is
+// captured at CMake configure time (see src/obs/CMakeLists.txt); it reads
+// "unknown" outside a git checkout and goes stale only if you commit
+// without reconfiguring.
+#pragma once
+
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace firefly::obs {
+
+struct BuildInfo {
+  std::string_view git_sha;
+  std::string_view compiler;
+  std::string_view build_type;
+};
+
+[[nodiscard]] BuildInfo build_info();
+
+/// Append the environment fields (git_sha, compiler, build_type) to the
+/// currently open JSON object.
+void write_build_info_fields(JsonWriter& w);
+
+}  // namespace firefly::obs

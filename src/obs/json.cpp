@@ -1,0 +1,124 @@
+#include "obs/json.hpp"
+
+#include <array>
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace firefly::obs {
+
+void JsonWriter::separate() {
+  if (levels_.empty()) return;
+  Level& level = levels_.back();
+  if (level.key_pending) {
+    // The comma (if any) was written with the key.
+    level.key_pending = false;
+    return;
+  }
+  if (!level.first) out_ << ',';
+  level.first = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ << '{';
+  levels_.push_back(Level{'O'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!levels_.empty() && levels_.back().kind == 'O');
+  assert(!levels_.back().key_pending && "dangling key");
+  levels_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ << '[';
+  levels_.push_back(Level{'A'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!levels_.empty() && levels_.back().kind == 'A');
+  levels_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!levels_.empty() && levels_.back().kind == 'O');
+  Level& level = levels_.back();
+  assert(!level.key_pending && "two keys in a row");
+  if (!level.first) out_ << ',';
+  level.first = false;
+  level.key_pending = true;
+  out_ << '"' << escape(k) << "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  out_ << format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ << v;
+  return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::format_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  assert(ec == std::errc());
+  return std::string(buf.data(), ptr);
+}
+
+}  // namespace firefly::obs

@@ -1,0 +1,65 @@
+// json.hpp — deterministic streaming JSON emission.
+//
+// `JsonWriter` writes JSON to an ostream with no whitespace, caller-ordered
+// keys and shortest-round-trip doubles (std::to_chars), so two runs that
+// produce the same values produce byte-identical output.  It is the
+// substrate for every obs exporter: JSONL run/sweep snapshots, registry
+// dumps and the Chrome trace-event file.  No DOM, no allocation per value.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace firefly::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+
+  // key + scalar in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Escape `s` for inclusion inside a JSON string literal (no quotes).
+  [[nodiscard]] static std::string escape(std::string_view s);
+  /// Shortest round-trip decimal form; non-finite values become "null".
+  [[nodiscard]] static std::string format_double(double v);
+
+ private:
+  /// Emit the separating comma when a value follows a sibling.
+  void separate();
+
+  struct Level {
+    char kind;  // 'O' or 'A'
+    bool first = true;
+    bool key_pending = false;
+  };
+  std::ostream& out_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace firefly::obs

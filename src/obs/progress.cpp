@@ -1,0 +1,63 @@
+#include "obs/progress.hpp"
+
+#include <array>
+#include <cstdio>
+#include <iostream>
+
+namespace firefly::obs {
+
+ProgressReporter::ProgressReporter(std::string label, std::size_t total,
+                                   std::chrono::milliseconds min_interval,
+                                   std::ostream* out)
+    : label_(std::move(label)),
+      total_(total),
+      min_interval_(min_interval),
+      out_(out != nullptr ? out : &std::cerr),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_ - min_interval) {}
+
+void ProgressReporter::advance(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  done_ += n;
+  const auto now = std::chrono::steady_clock::now();
+  if (done_ < total_ && now - last_print_ < min_interval_) return;
+  last_print_ = now;
+  print_locked();
+}
+
+void ProgressReporter::finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  print_locked();
+  *out_ << '\n';
+  out_->flush();
+}
+
+std::size_t ProgressReporter::done() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+void ProgressReporter::print_locked() {
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start_).count();
+  const double fraction =
+      total_ > 0 ? static_cast<double>(done_) / static_cast<double>(total_) : 1.0;
+  std::array<char, 160> line{};
+  if (done_ > 0 && done_ < total_) {
+    const double eta = elapsed * (1.0 - fraction) / fraction;
+    std::snprintf(line.data(), line.size(),
+                  "\r[%s] %zu/%zu trials (%3.0f%%) elapsed %.1fs eta %.1fs   ",
+                  label_.c_str(), done_, total_, 100.0 * fraction, elapsed, eta);
+  } else {
+    std::snprintf(line.data(), line.size(),
+                  "\r[%s] %zu/%zu trials (%3.0f%%) elapsed %.1fs          ",
+                  label_.c_str(), done_, total_, 100.0 * fraction, elapsed);
+  }
+  *out_ << line.data();
+  out_->flush();
+}
+
+}  // namespace firefly::obs

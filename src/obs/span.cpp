@@ -1,0 +1,88 @@
+#include "obs/span.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace firefly::obs {
+
+const char* span_name(SpanId id) {
+  switch (id) {
+    case SpanId::kSlotDelivery: return "slot_delivery";
+    case SpanId::kPcoUpdate: return "pco_update";
+    case SpanId::kHConnect: return "h_connect";
+    case SpanId::kMerge: return "fragment_merge";
+    case SpanId::kTrial: return "trial";
+  }
+  return "?";
+}
+
+SpanSink::SpanSink(std::size_t capacity) : capacity_(capacity) {
+  spans_.reserve(std::min<std::size_t>(capacity_ == 0 ? 4096 : capacity_, 4096));
+}
+
+void SpanSink::add(const Span& span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0 || spans_.size() < capacity_) {
+    spans_.push_back(span);
+    return;
+  }
+  spans_[head_] = span;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::size_t SpanSink::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::uint64_t SpanSink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<Span> SpanSink::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Span> out;
+  out.reserve(spans_.size());
+  // Ring order: [head_, end) is older than [0, head_).
+  for (std::size_t i = head_; i < spans_.size(); ++i) out.push_back(spans_[i]);
+  for (std::size_t i = 0; i < head_; ++i) out.push_back(spans_[i]);
+  return out;
+}
+
+void SpanSink::write_chrome_trace(std::ostream& out) const {
+  const std::vector<Span> spans = snapshot();
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const Span& s : spans) {
+    w.begin_object()
+        .field("name", span_name(s.id))
+        .field("cat", "firefly")
+        .field("ph", "X")
+        .field("pid", std::uint64_t{1})
+        .field("tid", static_cast<std::uint64_t>(s.tid))
+        .field("ts", static_cast<double>(s.start_ns) / 1000.0)
+        .field("dur", static_cast<double>(s.duration_ns) / 1000.0);
+    if (s.sim_ms >= 0.0) {
+      w.key("args").begin_object().field("sim_ms", s.sim_ms).end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+bool SpanSink::write_chrome_trace(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_trace(f);
+  return true;
+}
+
+}  // namespace firefly::obs

@@ -1,0 +1,44 @@
+// timer.hpp — scoped RAII wall-clock timers for the hot paths.
+//
+// `ScopedTimer span(telemetry, SpanId::kSlotDelivery, sim_ms);` measures
+// the enclosing scope and records it into the telemetry context's per-span
+// histogram/counter (and span sink, when attached).  With a null context
+// the constructor and destructor are each a single pointer test — no clock
+// read, no allocation, no lock — which is what keeps telemetry-off runs
+// within the engine's performance budget and bit-identical in results.
+#pragma once
+
+#include <chrono>
+
+#include "obs/telemetry.hpp"
+
+namespace firefly::obs {
+
+class ScopedTimer {
+ public:
+  /// `sim_ms` < 0 means "no simulated-time annotation".
+  ScopedTimer(Telemetry* telemetry, SpanId id, double sim_ms = -1.0)
+      : telemetry_(telemetry), id_(id), sim_ms_(sim_ms) {
+    if (telemetry_ == nullptr) return;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (telemetry_ == nullptr) return;
+    const auto duration = std::chrono::steady_clock::now() - start_;
+    telemetry_->record_span(
+        id_, start_, std::chrono::duration_cast<std::chrono::nanoseconds>(duration),
+        sim_ms_);
+  }
+
+ private:
+  Telemetry* telemetry_;
+  SpanId id_;
+  double sim_ms_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace firefly::obs

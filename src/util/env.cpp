@@ -1,0 +1,52 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace firefly::util {
+
+namespace {
+std::mutex warned_mutex;
+std::set<std::string>& warned_names() {
+  static std::set<std::string> names;
+  return names;
+}
+}  // namespace
+
+std::optional<std::size_t> parse_size(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (SIZE_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  if (value == 0) return std::nullopt;
+  return value;
+}
+
+std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const std::optional<std::size_t> parsed = parse_size(raw);
+  if (parsed.has_value()) return *parsed;
+  {
+    const std::lock_guard<std::mutex> lock(warned_mutex);
+    if (warned_names().insert(name).second) {
+      std::cerr << "warning: ignoring malformed " << name << "='" << raw
+                << "' (want a positive integer); using default " << fallback << "\n";
+    }
+  }
+  return fallback;
+}
+
+void reset_env_warnings() {
+  const std::lock_guard<std::mutex> lock(warned_mutex);
+  warned_names().clear();
+}
+
+}  // namespace firefly::util

@@ -1,0 +1,28 @@
+// env.hpp — strict environment-variable parsing for the bench knobs.
+//
+// The figure benches are trimmed via FIREFLY_BENCH_TRIALS / _MAX_N; a typo
+// there (`FIREFLY_BENCH_MAX_N=abc`, `=0`, `=100x`) used to fall back
+// silently, so a truncated sweep could masquerade as a full one.  These
+// parsers reject trailing garbage and zero, warn once per variable on
+// stderr, and only then fall back.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace firefly::util {
+
+/// Strictly parse `text` as a positive base-10 size; nullopt on empty
+/// input, trailing garbage, overflow or zero.
+[[nodiscard]] std::optional<std::size_t> parse_size(std::string_view text);
+
+/// Read env var `name` as a positive integer; on unset returns `fallback`,
+/// on malformed/zero values warns once per variable on stderr and returns
+/// `fallback`.
+[[nodiscard]] std::size_t env_size_t(const char* name, std::size_t fallback);
+
+/// Test hook: forget which variables have already been warned about.
+void reset_env_warnings();
+
+}  // namespace firefly::util

@@ -1,7 +1,12 @@
-// Tests for the command-line flag parser (src/util/flags.hpp).
+// Tests for the command-line flag parser (src/util/flags.hpp) and the
+// strict environment-variable parsing (src/util/env.hpp).
 #include "util/flags.hpp"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.hpp"
 
 namespace {
 
@@ -73,6 +78,48 @@ TEST(Flags, NamesEnumeratesParsedFlags) {
 TEST(Flags, ProgramName) {
   const Flags f = parse({});
   EXPECT_EQ(f.program(), "prog");
+}
+
+TEST(ParseSize, AcceptsPlainPositiveIntegers) {
+  using firefly::util::parse_size;
+  EXPECT_EQ(parse_size("1"), 1U);
+  EXPECT_EQ(parse_size("1000"), 1000U);
+  EXPECT_EQ(parse_size("18446744073709551615"), 18446744073709551615ULL);
+}
+
+TEST(ParseSize, RejectsMalformedInput) {
+  using firefly::util::parse_size;
+  EXPECT_EQ(parse_size(""), std::nullopt);
+  EXPECT_EQ(parse_size("0"), std::nullopt);        // zero trials/max-N is a typo
+  EXPECT_EQ(parse_size("abc"), std::nullopt);
+  EXPECT_EQ(parse_size("100x"), std::nullopt);     // trailing garbage
+  EXPECT_EQ(parse_size("1 "), std::nullopt);
+  EXPECT_EQ(parse_size(" 1"), std::nullopt);
+  EXPECT_EQ(parse_size("-5"), std::nullopt);
+  EXPECT_EQ(parse_size("1.5"), std::nullopt);
+  EXPECT_EQ(parse_size("18446744073709551616"), std::nullopt);  // overflow
+}
+
+TEST(EnvSize, UnsetUsesFallbackWithoutWarning) {
+  firefly::util::reset_env_warnings();
+  unsetenv("FIREFLY_TEST_ENV_SIZE");
+  EXPECT_EQ(firefly::util::env_size_t("FIREFLY_TEST_ENV_SIZE", 7), 7U);
+}
+
+TEST(EnvSize, ValidValueParses) {
+  firefly::util::reset_env_warnings();
+  setenv("FIREFLY_TEST_ENV_SIZE", "42", 1);
+  EXPECT_EQ(firefly::util::env_size_t("FIREFLY_TEST_ENV_SIZE", 7), 42U);
+  unsetenv("FIREFLY_TEST_ENV_SIZE");
+}
+
+TEST(EnvSize, MalformedValueFallsBack) {
+  firefly::util::reset_env_warnings();
+  setenv("FIREFLY_TEST_ENV_SIZE", "100x", 1);
+  EXPECT_EQ(firefly::util::env_size_t("FIREFLY_TEST_ENV_SIZE", 7), 7U);
+  setenv("FIREFLY_TEST_ENV_SIZE", "0", 1);
+  EXPECT_EQ(firefly::util::env_size_t("FIREFLY_TEST_ENV_SIZE", 7), 7U);
+  unsetenv("FIREFLY_TEST_ENV_SIZE");
 }
 
 }  // namespace

@@ -48,6 +48,60 @@ TEST(TraceSink, CsvOutput) {
   std::remove(path.c_str());
 }
 
+TEST(TraceSink, RingKeepsMostRecentEventsAndCountsDrops) {
+  TraceSink sink;
+  sink.set_capacity(3);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    sink.record(static_cast<double>(i), i, TraceKind::kFire);
+  }
+  EXPECT_EQ(sink.events().size(), 3U);
+  EXPECT_EQ(sink.dropped(), 4U);
+  // snapshot() restores chronological order across the wrap point.
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 3U);
+  EXPECT_EQ(events[0].device, 4U);
+  EXPECT_EQ(events[1].device, 5U);
+  EXPECT_EQ(events[2].device, 6U);
+  sink.clear();
+  EXPECT_EQ(sink.dropped(), 0U);
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(TraceSink, UnlimitedByDefault) {
+  TraceSink sink;
+  for (std::uint32_t i = 0; i < 1000; ++i) sink.record(0.0, i, TraceKind::kFire);
+  EXPECT_EQ(sink.events().size(), 1000U);
+  EXPECT_EQ(sink.dropped(), 0U);
+}
+
+TEST(TraceSink, DropCounterMirrorsIntoRegistry) {
+  obs::Counter drops;
+  TraceSink sink;
+  sink.set_capacity(2);
+  sink.set_drop_counter(&drops);
+  for (std::uint32_t i = 0; i < 5; ++i) sink.record(0.0, i, TraceKind::kFire);
+  EXPECT_EQ(sink.dropped(), 3U);
+  EXPECT_EQ(drops.value(), 3U);
+}
+
+TEST(TraceSink, RingCsvIsChronological) {
+  TraceSink sink;
+  sink.set_capacity(2);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    sink.record(static_cast<double>(i), i, TraceKind::kFire);
+  }
+  const std::string path = "/tmp/firefly_trace_ring_test.csv";
+  sink.write_csv(path);
+  std::ifstream in(path);
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(row1.substr(0, 1), "2");
+  EXPECT_EQ(row2.substr(0, 1), "3");
+  std::remove(path.c_str());
+}
+
 TEST(TraceIntegration, StRunEmitsProtocolMilestones) {
   core::ScenarioConfig config;
   config.n = 25;

@@ -1,0 +1,226 @@
+// check_bench_json — schema validator for firefly-bench-v1 JSONL files.
+//
+//   check_bench_json <file.json> [--require-series]
+//
+// Used by CI (and by hand) to gate the machine-readable bench output
+// without pulling in python or a JSON library: a small recursive-descent
+// parser validates every line and collects top-level keys.  Checks:
+//   * every line is a syntactically valid JSON object,
+//   * line 1 is the meta record: schema == "firefly-bench-v1" plus bench,
+//     git_sha and compiler keys,
+//   * every line carries a "bench" key,
+//   * with --require-series, at least one line has "protocol" and "n"
+//     (a sweep-series record, as fig3/fig4 emit).
+// Exit 0 on success, 1 on any violation (first violation is reported).
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Minimal JSON validator; collects top-level object keys and the string
+// value of top-level string fields (enough to check the schema tag).
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : p_(line.data()), end_(p_ + line.size()) {}
+
+  /// Parse one complete JSON object covering the whole line.
+  bool parse() {
+    skip_ws();
+    if (!parse_object(/*top_level=*/true)) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+  [[nodiscard]] bool has_key(const std::string& key) const {
+    for (const auto& [k, v] : top_fields_)
+      if (k == key) return true;
+    return false;
+  }
+
+  /// Value of a top-level string field ("" when absent or not a string).
+  [[nodiscard]] std::string string_value(const std::string& key) const {
+    for (const auto& [k, v] : top_fields_)
+      if (k == key) return v;
+    return {};
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\r' || *p_ == '\n')) ++p_;
+  }
+
+  bool parse_string(std::string* out) {
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        switch (*p_) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            if (out) out->push_back(*p_);
+            ++p_;
+            break;
+          case 'u': {
+            ++p_;
+            for (int i = 0; i < 4; ++i, ++p_)
+              if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_))) return false;
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        if (out) out->push_back(*p_);
+        ++p_;
+      }
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool parse_number() {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) return false;
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) return false;
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) return false;
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    return p_ != start;
+  }
+
+  bool parse_literal(const char* lit) {
+    for (const char* c = lit; *c != '\0'; ++c, ++p_)
+      if (p_ == end_ || *p_ != *c) return false;
+    return true;
+  }
+
+  bool parse_value(std::string* string_out) {
+    skip_ws();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': return parse_object(false);
+      case '[': return parse_array();
+      case '"': return parse_string(string_out);
+      case 't': return parse_literal("true");
+      case 'f': return parse_literal("false");
+      case 'n': return parse_literal("null");
+      default: return parse_number();
+    }
+  }
+
+  bool parse_array() {
+    if (*p_ != '[') return false;
+    ++p_;
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') { ++p_; return true; }
+    while (true) {
+      if (!parse_value(nullptr)) return false;
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ']') { ++p_; return true; }
+      if (*p_ != ',') return false;
+      ++p_;
+    }
+  }
+
+  bool parse_object(bool top_level) {
+    if (p_ == end_ || *p_ != '{') return false;
+    ++p_;
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') { ++p_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      std::string value;
+      if (!parse_value(top_level ? &value : nullptr)) return false;
+      if (top_level) top_fields_.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == '}') { ++p_; return true; }
+      if (*p_ != ',') return false;
+      ++p_;
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  std::vector<std::pair<std::string, std::string>> top_fields_;
+};
+
+int fail(const std::string& path, std::size_t line_no, const std::string& why) {
+  std::cerr << path << ":" << line_no << ": " << why << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool require_series = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-series") require_series = true;
+    else if (path.empty()) path = arg;
+    else {
+      std::cerr << "usage: check_bench_json <file.json> [--require-series]\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: check_bench_json <file.json> [--require-series]\n";
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t series_records = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) return fail(path, line_no, "empty line");
+    LineParser parser(line);
+    if (!parser.parse()) return fail(path, line_no, "not a valid JSON object");
+    if (line_no == 1) {
+      if (parser.string_value("schema") != "firefly-bench-v1")
+        return fail(path, line_no, "meta record missing schema \"firefly-bench-v1\"");
+      for (const char* key : {"bench", "git_sha", "compiler"})
+        if (!parser.has_key(key))
+          return fail(path, line_no, std::string("meta record missing \"") + key + "\"");
+    }
+    if (!parser.has_key("bench"))
+      return fail(path, line_no, "record missing \"bench\" key");
+    if (parser.has_key("protocol") && parser.has_key("n")) ++series_records;
+  }
+  if (line_no == 0) return fail(path, 1, "file is empty");
+  if (require_series && series_records == 0)
+    return fail(path, line_no, "no series records (need \"protocol\" and \"n\")");
+
+  std::cout << path << ": OK (" << line_no << " records, " << series_records
+            << " series)\n";
+  return 0;
+}
