@@ -188,7 +188,7 @@ inline PaperSweepResult run_paper_sweep() {
   std::optional<obs::ProgressReporter> progress;
   if (std::getenv("FIREFLY_BENCH_PROGRESS") != nullptr) {
     progress.emplace("sweep", 2 * config.total_trials());
-    config.progress = &*progress;
+    config.hooks.progress = &*progress;
   }
   PaperSweepResult result;
   result.fst = core::sweep(core::Protocol::kFst, config);

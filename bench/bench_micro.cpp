@@ -138,7 +138,7 @@ void BM_RadioSlotFlush(benchmark::State& state) {
     radio.add_device(id, {rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)},
                      [](const mac::Reception&) {});
   }
-  radio.build_candidate_cache();
+  radio.rebuild();
   std::uint64_t slot = 1;
   for (auto _ : state) {
     for (std::size_t i = 0; i < txs; ++i) {

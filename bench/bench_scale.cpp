@@ -1,0 +1,155 @@
+// bench_scale — spatial-index scaling: grid vs dense wall-clock at large N.
+//
+// Runs the ST protocol at N ∈ {1000, 2000, 5000} (density-scaled area, so
+// the network stays multi-hop) once per trial under both candidate
+// enumeration strategies and reports the wall-clock ratio.  The dense runs
+// are the exhaustive O(N²) reference; the grid runs must produce
+// bit-identical RunMetrics (asserted per trial and reported in the JSON as
+// `metrics_identical`), so any speedup is a pure optimisation.
+//
+//   bench_scale [--trials K] [--json scale.json]
+//   FIREFLY_BENCH_MAX_N=2000 bench_scale      # trim the sweep
+//
+// JSONL output (firefly-bench-v1): one "scale" record per (n, mode, trial)
+// with the measured wall_ms, then one "speedup" record per n.  Wall-clock
+// fields make this file machine-speed dependent — diff the "scale" records'
+// converged/total_messages columns, not the timings.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace firefly;
+
+struct TrialResult {
+  double wall_ms{0.0};
+  core::RunMetrics metrics;
+  std::string metrics_json;
+};
+
+TrialResult run_one(std::size_t n, std::size_t trial, phy::SpatialIndex index) {
+  core::ScenarioConfig config;
+  config.n = n;
+  config.seed = util::derive_seed(2015, "bench_scale",
+                                  (static_cast<std::uint64_t>(n) << 20) | trial);
+  config.radio.spatial_index = index;
+
+  TrialResult result;
+  const auto start = std::chrono::steady_clock::now();
+  result.metrics = core::run_trial(core::Protocol::kSt, config);
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+
+  std::ostringstream oss;
+  obs::JsonWriter w(oss);
+  core::write_run_metrics_json(w, result.metrics);
+  result.metrics_json = oss.str();
+  return result;
+}
+
+const char* mode_name(phy::SpatialIndex index) {
+  return index == phy::SpatialIndex::kGrid ? "grid" : "dense";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchJson json("bench_scale", &argc, argv);
+
+  std::size_t trials = bench::env_or("FIREFLY_BENCH_TRIALS", 1);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trials" && i + 1 < argc) {
+      trials = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      trials = static_cast<std::size_t>(std::strtoull(arg.data() + 9, nullptr, 10));
+    } else {
+      std::cerr << "bench_scale: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (trials == 0) trials = 1;
+
+  const std::size_t max_n = bench::env_or("FIREFLY_BENCH_MAX_N", 5000);
+  std::vector<std::size_t> ns;
+  for (const std::size_t n : {1000UL, 2000UL, 5000UL}) {
+    if (n <= max_n) ns.push_back(n);
+  }
+  if (ns.empty()) ns.push_back(max_n);
+
+  json.write_meta();
+
+  util::Table table("bench_scale — ST wall-clock, grid vs dense candidate enumeration");
+  table.set_headers({"N", "trials", "dense ms", "grid ms", "speedup", "identical"});
+
+  bool all_identical = true;
+  for (const std::size_t n : ns) {
+    double dense_ms = 0.0;
+    double grid_ms = 0.0;
+    bool identical = true;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      std::string dense_json;
+      for (const phy::SpatialIndex index :
+           {phy::SpatialIndex::kDense, phy::SpatialIndex::kGrid}) {
+        std::cerr << "bench_scale: n=" << n << " mode=" << mode_name(index)
+                  << " trial=" << trial << "..." << std::flush;
+        const TrialResult result = run_one(n, trial, index);
+        std::cerr << ' ' << util::Table::num(result.wall_ms) << " ms\n";
+        (index == phy::SpatialIndex::kDense ? dense_ms : grid_ms) += result.wall_ms;
+        json.write_object([&](obs::JsonWriter& w) {
+          w.field("series", "scale");
+          w.field("protocol", "ST");
+          w.field("mode", mode_name(index));
+          w.field("n", static_cast<std::uint64_t>(n));
+          w.field("trial", static_cast<std::uint64_t>(trial));
+          w.field("wall_ms", result.wall_ms);
+          w.field("converged", result.metrics.converged);
+          w.field("total_messages", result.metrics.total_messages());
+          w.field("deliveries", result.metrics.deliveries);
+        });
+        // Compare grid against the dense run of the same (n, trial).
+        if (index == phy::SpatialIndex::kDense) {
+          dense_json = result.metrics_json;
+        } else if (result.metrics_json != dense_json) {
+          identical = false;
+        }
+      }
+    }
+    dense_ms /= static_cast<double>(trials);
+    grid_ms /= static_cast<double>(trials);
+    const double speedup = grid_ms > 0.0 ? dense_ms / grid_ms : 0.0;
+    all_identical = all_identical && identical;
+
+    json.write_object([&](obs::JsonWriter& w) {
+      w.field("series", "speedup");
+      w.field("protocol", "ST");
+      w.field("n", static_cast<std::uint64_t>(n));
+      w.field("trials", static_cast<std::uint64_t>(trials));
+      w.field("dense_ms", dense_ms);
+      w.field("grid_ms", grid_ms);
+      w.field("speedup", speedup);
+      w.field("metrics_identical", identical);
+    });
+    table.add_row({util::Table::num(n), util::Table::num(trials),
+                   util::Table::num(dense_ms), util::Table::num(grid_ms),
+                   util::Table::num(speedup), identical ? "yes" : "NO"});
+  }
+
+  table.print(std::cout);
+  if (json) std::cout << "\nJSON written to " << json.path() << '\n';
+  if (!all_identical) {
+    std::cerr << "bench_scale: grid metrics DIVERGED from the dense reference\n";
+    return 1;
+  }
+  return 0;
+}

@@ -79,8 +79,10 @@ int main(int argc, char** argv) {
   std::sort(ranked.rbegin(), ranked.rend());
   for (std::size_t i = 0; i < std::min<std::size_t>(ranked.size(), 8); ++i) {
     const auto& info = device.neighbors.at(ranked[i].second);
+    const double est_distance_m =
+        engine.ranging().estimate_distance(firefly::util::Dbm{info.weight_dbm});
     view.add_row({"UE" + std::to_string(ranked[i].second),
-                  Table::num(info.weight_dbm, 1), Table::num(info.est_distance_m, 1),
+                  Table::num(info.weight_dbm, 1), Table::num(est_distance_m, 1),
                   Table::num(geo::distance(device.position,
                                            engine.devices()[ranked[i].second].position),
                              1)});

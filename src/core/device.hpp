@@ -9,25 +9,15 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "core/neighbor_table.hpp"
 #include "core/wire.hpp"
 #include "geo/point.hpp"
 #include "sim/event_queue.hpp"
+#include "util/flat_set.hpp"
 
 namespace firefly::core {
-
-/// What a device knows about a neighbour, learnt entirely from PSs.
-struct NeighborInfo {
-  double weight_dbm{-200.0};        ///< EWMA of received PS power (the edge weight)
-  double est_distance_m{0.0};       ///< RSSI ranging estimate from the EWMA
-  std::uint16_t fragment{kInvalidId};
-  std::uint16_t service{0};
-  std::int64_t last_heard_slot{-1};
-  std::uint32_t heard_count{0};
-};
 
 struct Device {
   std::uint32_t id{0};
@@ -41,7 +31,7 @@ struct Device {
   std::int64_t refractory_until_slot{-1};
 
   // --- discovery ---
-  std::unordered_map<std::uint32_t, NeighborInfo> neighbors;
+  NeighborTable neighbors;  ///< see neighbor_table.hpp (flat, insertion-ordered)
 
   // --- fault-injection state ---
   bool down{false};             ///< crashed: radio silent, timers parked
@@ -53,8 +43,8 @@ struct Device {
   std::uint16_t fragment_size{1};
   bool is_head{false};
   std::vector<std::uint32_t> tree_neighbors;
-  std::unordered_set<std::uint32_t> announces_seen;  ///< merge_key dedup
-  std::unordered_set<std::uint32_t> sync_floods_seen;  ///< (fragment, cycle) dedup
+  util::FlatU32Set announces_seen;    ///< merge_key dedup
+  util::FlatU32Set sync_floods_seen;  ///< (fragment, cycle) dedup
   std::size_t head_rotation{0};         ///< Change_head round-robin cursor
   std::uint32_t pending_target{kInvalidId};
   std::int64_t connect_sent_slot{-1};

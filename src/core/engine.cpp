@@ -53,7 +53,7 @@ EngineBase::EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
         },
         std::move(listening));
   }
-  radio_.build_candidate_cache();
+  radio_.rebuild();
 
   if (params_.faults.enabled()) {
     injector_ = std::make_unique<fault::FaultInjector>(
@@ -68,21 +68,20 @@ EngineBase::EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
 
   // Links the protocols owe discovery and alignment on: proximity edges
   // whose slot-averaged power clears the threshold with a margin (links
-  // right at the threshold decode too rarely to owe either).
+  // right at the threshold decode too rarely to owe either).  The radio's
+  // candidate cache (threshold − fading margin, symmetric means) is a
+  // superset of this set, so its memoised pairs replace a second O(N²)
+  // channel sweep.
+  assert(radio_params.reliable_link_margin_db >=
+         -phy::RadioParams::kCandidateFadingMarginDb);
   const util::Dbm reliable =
       radio_params.detection_threshold + util::Db{radio_params.reliable_link_margin_db};
-  for (std::uint32_t u = 0; u < devices_.size(); ++u) {
-    for (std::uint32_t v = u + 1; v < devices_.size(); ++v) {
-      const util::Dbm forward = channel_->mean_received_power(
-          u, devices_[u].position, v, devices_[v].position);
-      const util::Dbm backward = channel_->mean_received_power(
-          v, devices_[v].position, u, devices_[u].position);
-      if (std::max(forward, backward) >= reliable) {
-        local_detector_.add_edge(u, v);
-        reliable_links_.emplace_back(u, v);
-      }
+  radio_.for_each_candidate_pair([&](std::uint32_t u, std::uint32_t v, util::Dbm mean) {
+    if (mean >= reliable) {
+      local_detector_.add_edge(u, v);
+      reliable_links_.emplace_back(u, v);
     }
-  }
+  });
 }
 
 std::int64_t EngineBase::current_slot() const {
@@ -199,7 +198,6 @@ void EngineBase::update_neighbor(Device& device, const mac::Reception& reception
   }
   ++info.heard_count;
   info.last_heard_slot = current_slot();
-  info.est_distance_m = ranging_.estimate_distance(util::Dbm{info.weight_dbm});
   const Fields f = unpack(reception.payload);
   // Sync pulses and discovery beacons carry (fragment, service); control
   // messages carry other fields, so only refresh from beacons.
@@ -251,9 +249,11 @@ void EngineBase::mobility_step() {
     radio_.move_device(d.id, d.position);
   }
   // Large-scale state changed: link shadowing decorrelates and the
-  // delivery candidate cache must be rebuilt.
+  // memoised means are stale.  Cell membership already tracked the moves
+  // incrementally inside move_device; rebuild() re-enumerates candidates
+  // from the maintained grid.
   channel_->shadowing().invalidate();
-  radio_.build_candidate_cache();
+  radio_.rebuild();
 }
 
 void EngineBase::check_convergence() {
@@ -494,7 +494,11 @@ void EngineBase::finalize_metrics(RunMetrics& metrics) const {
       const double true_dist =
           geo::distance(d.position, devices_[other_id].position);
       if (true_dist > 0.0) {
-        rel_errors.add(std::fabs(info.est_distance_m / true_dist - 1.0));
+        // RSSI ranging estimate, derived from the EWMA weight on demand
+        // (inverting the path-loss model per delivery was pure waste: the
+        // estimate is only ever read here and by post-run reports).
+        const double est = ranging_.estimate_distance(util::Dbm{info.weight_dbm});
+        rel_errors.add(std::fabs(est / true_dist - 1.0));
       }
     }
     service_peers.add(static_cast<double>(peers));

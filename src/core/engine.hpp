@@ -44,6 +44,9 @@ class EngineBase {
 
   [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
   [[nodiscard]] const ProtocolParams& params() const { return params_; }
+  /// RSSI ranging against this run's path-loss model; distance estimates
+  /// are derived from NeighborInfo::weight_dbm on demand.
+  [[nodiscard]] const phy::RssiRanging& ranging() const { return ranging_; }
 
   /// Attach an optional trace sink (not owned; may be null).
   void set_trace(TraceSink* sink) { trace_ = sink; }

@@ -46,12 +46,10 @@ std::vector<SweepPoint> sweep(Protocol protocol, const SweepConfig& config,
     const ScenarioConfig trial_cfg = trial_config(config, points[point_index].n, trial);
     RunMetrics metrics;
     {
-      const obs::ScopedTimer span(config.telemetry, obs::SpanId::kTrial);
-      metrics = run_trial(protocol, trial_cfg,
-                          RunHooks{nullptr, config.telemetry});
+      const obs::ScopedTimer span(config.hooks.telemetry, obs::SpanId::kTrial);
+      metrics = run_trial(protocol, trial_cfg, config.hooks);
     }
     accumulate(points[point_index], metrics, mutex);
-    if (config.progress != nullptr) config.progress->advance();
   };
 
   if (pool != nullptr) {

@@ -37,12 +37,13 @@ struct SweepConfig {
   std::vector<std::size_t> ns{50, 100, 200, 400, 600, 800, 1000};
   std::size_t trials{5};
   std::uint64_t master_seed{2015};
-  /// Optional observers (non-owning, may be null).  `telemetry` records a
-  /// wall-clock span per trial and is shared safely across pooled workers;
-  /// `progress` is advanced once per completed trial (stderr ETA line).
-  /// Neither affects the simulated results.
-  obs::Telemetry* telemetry{nullptr};
-  obs::ProgressReporter* progress{nullptr};
+  /// Observers passed to every trial (see RunHooks — the single home for
+  /// them; no raw observer pointers live here).  `hooks.telemetry` records
+  /// a wall-clock span per trial and is shared safely across pooled
+  /// workers; `hooks.progress` is advanced once per completed trial
+  /// (stderr ETA line).  `hooks.trace` is not thread-safe: leave it null
+  /// for pooled sweeps.  None affect the simulated results.
+  RunHooks hooks{};
 
   /// Total trial count of one protocol sweep (for sizing a progress bar).
   [[nodiscard]] std::size_t total_trials() const { return ns.size() * trials; }

@@ -1,8 +1,12 @@
 #include "core/scenario.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/birthday.hpp"
 #include "core/fst.hpp"
 #include "core/st.hpp"
+#include "geo/grid.hpp"
 #include "util/rng.hpp"
 
 namespace firefly::core {
@@ -29,21 +33,35 @@ std::vector<geo::Vec2> deploy(const ScenarioConfig& config) {
 
 graph::Graph proximity_graph(const std::vector<geo::Vec2>& positions, phy::Channel& channel) {
   graph::Graph g(positions.size());
-  for (std::uint32_t u = 0; u < positions.size(); ++u) {
-    for (std::uint32_t v = u + 1; v < positions.size(); ++v) {
-      const util::Dbm forward =
-          channel.mean_received_power(u, positions[u], v, positions[v]);
-      const util::Dbm backward =
-          channel.mean_received_power(v, positions[v], u, positions[u]);
-      const util::Dbm strongest = std::max(forward, backward);
-      if (channel.detectable(strongest)) g.add_edge(u, v, strongest.value);
+  const auto admit = [&](std::uint32_t u, std::uint32_t v) {
+    const util::Dbm forward =
+        channel.mean_received_power_uncached(u, positions[u], v, positions[v]);
+    const util::Dbm backward =
+        channel.mean_received_power_uncached(v, positions[v], u, positions[u]);
+    const util::Dbm strongest = std::max(forward, backward);
+    if (channel.detectable(strongest)) g.add_edge(u, v, strongest.value);
+  };
+  // Edges need mean power >= threshold, which the shadowing clamp bounds by
+  // a hard range — enumerate only grid-near pairs when that bound is finite.
+  const double range = channel.max_detectable_range();
+  if (std::isfinite(range) && range > 0.0 && positions.size() > 1) {
+    geo::SpatialGrid grid;
+    grid.build(positions, range);
+    std::vector<std::uint32_t> near;
+    for (std::uint32_t u = 0; u < positions.size(); ++u) {
+      near.clear();
+      grid.gather(positions[u], range, near);
+      std::sort(near.begin(), near.end());
+      for (const std::uint32_t v : near) {
+        if (v > u) admit(u, v);
+      }
+    }
+  } else {
+    for (std::uint32_t u = 0; u < positions.size(); ++u) {
+      for (std::uint32_t v = u + 1; v < positions.size(); ++v) admit(u, v);
     }
   }
   return g;
-}
-
-RunMetrics run_trial(Protocol protocol, const ScenarioConfig& config) {
-  return run_trial(protocol, config, RunHooks{});
 }
 
 namespace {
@@ -53,7 +71,9 @@ RunMetrics run_with_hooks(std::vector<geo::Vec2> positions, const ScenarioConfig
   Engine engine(std::move(positions), config.protocol, config.radio, config.seed);
   engine.set_trace(hooks.trace);
   engine.set_telemetry(hooks.telemetry);
-  return engine.run();
+  RunMetrics metrics = engine.run();
+  if (hooks.progress != nullptr) hooks.progress->advance();
+  return metrics;
 }
 }  // namespace
 

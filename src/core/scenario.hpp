@@ -18,6 +18,7 @@
 #include "geo/deployment.hpp"
 #include "geo/point.hpp"
 #include "graph/graph.hpp"
+#include "obs/progress.hpp"
 #include "obs/telemetry.hpp"
 #include "phy/channel.hpp"
 
@@ -58,18 +59,19 @@ struct ScenarioConfig {
 [[nodiscard]] graph::Graph proximity_graph(const std::vector<geo::Vec2>& positions,
                                            phy::Channel& channel);
 
-/// Optional observers for a trial.  Both are non-owning and may be null;
-/// attaching them changes nothing about the simulated behaviour (verified
-/// by the telemetry-off invariance tests).
+/// The single home for every optional trial observer.  All are non-owning
+/// and may be null; attaching them changes nothing about the simulated
+/// behaviour (verified by the telemetry-off invariance tests).  `progress`
+/// is advanced once per completed trial.
 struct RunHooks {
   TraceSink* trace = nullptr;
   obs::Telemetry* telemetry = nullptr;
+  obs::ProgressReporter* progress = nullptr;
 };
 
-/// Run one trial of the chosen protocol on the scenario.
-[[nodiscard]] RunMetrics run_trial(Protocol protocol, const ScenarioConfig& config);
-/// Same, with observers attached for the duration of the trial.
+/// Run one trial of the chosen protocol on the scenario, with any
+/// observers in `hooks` attached for its duration.
 [[nodiscard]] RunMetrics run_trial(Protocol protocol, const ScenarioConfig& config,
-                                   const RunHooks& hooks);
+                                   const RunHooks& hooks = {});
 
 }  // namespace firefly::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 #include "obs/timer.hpp"
@@ -22,8 +23,10 @@ void RadioMedium::add_device(std::uint32_t id, geo::Vec2 position, ReceiveFn on_
   assert(id_to_index_[id] == std::numeric_limits<std::size_t>::max() && "duplicate device id");
   id_to_index_[id] = devices_.size();
   devices_.push_back(DeviceEntry{id, position, std::move(on_receive), std::move(listening)});
+  if (devices_.back().listening) any_listening_ = true;
   down_.push_back(0);
-  cache_valid_ = false;
+  invalidate();
+  grid_ready_ = false;  // population changed: next rebuild re-seeds the grid
 }
 
 void RadioMedium::set_down(std::uint32_t id, bool down) {
@@ -42,24 +45,94 @@ std::size_t RadioMedium::index_of(std::uint32_t id) const {
 }
 
 void RadioMedium::move_device(std::uint32_t id, geo::Vec2 position) {
-  devices_[index_of(id)].position = position;
-  cache_valid_ = false;
+  const std::size_t idx = index_of(id);
+  devices_[idx].position = position;
+  // Cell membership tracks the move incrementally; the memoised means are
+  // stale until the caller rebuilds (mobility steps move every device,
+  // then rebuild once).
+  if (grid_ready_) grid_.move(idx, position);
+  invalidate();
 }
 
 geo::Vec2 RadioMedium::device_position(std::uint32_t id) const {
   return devices_[index_of(id)].position;
 }
 
-void RadioMedium::build_candidate_cache(double fading_margin_db) {
+void RadioMedium::admit_candidate(std::size_t u, std::size_t v, util::Dbm mean,
+                                  util::Dbm cutoff) {
+  if (mean < cutoff) return;
+  // Fading headroom of the link.  Gains strictly below skip_gain provably
+  // leave the reception sub-threshold (1e-9 dB of slack absorbs pow/log
+  // rounding); borderline gains fall through to the exact dBm comparison,
+  // so the fast path decides bit-identically with the dense one.  When the
+  // headroom exceeds the fade-loss cap the link is audible in any fade.
+  const double headroom_db = (mean - channel_->params().detection_threshold).value;
+  const double max_loss_db = -10.0 * std::log10(phy::FadingModel::kGainFloor);
+  double skip_gain = 0.0;
+  if (headroom_db < max_loss_db) {
+    skip_gain = std::pow(10.0, -(headroom_db + 1e-9) / 10.0);
+  }
+  // u-space form of the same bound (2.0 = never skip when the fading model
+  // offers no uniform shortcut; skip_gain 0 maps to skip_u > 1 likewise).
+  const double skip_u =
+      uniform_skip_ ? channel_->fading().skip_u(skip_gain) : 2.0;
+  candidates_[u].push_back(Candidate{v, mean.value, skip_gain, skip_u});
+  candidates_[v].push_back(Candidate{u, mean.value, skip_gain, skip_u});
+}
+
+void RadioMedium::rebuild(double fading_margin_db) {
   const std::size_t n = devices_.size();
   candidates_.assign(n, {});
   const util::Dbm cutoff = channel_->params().detection_threshold - util::Db{fading_margin_db};
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t r = 0; r < n; ++r) {
-      if (s == r) continue;
-      const util::Dbm mean = channel_->mean_received_power(
-          devices_[s].id, devices_[s].position, devices_[r].id, devices_[r].position);
-      if (mean >= cutoff) candidates_[s].push_back(r);
+  grid_delivery_ = channel_->params().spatial_index == phy::SpatialIndex::kGrid;
+  uniform_skip_ = channel_->fading().supports_uniform_skip();
+
+  if (grid_delivery_) {
+    // Grid-indexed enumeration.  The range bound holds because candidate
+    // admission needs mean >= cutoff, i.e. PL(d) <= tx − threshold +
+    // margin + max shadowing gain — exactly max_detectable_range(margin).
+    // Gathered cells are a superset of that disc; the cutoff test (same
+    // compare, same mean value) is the only filter, as in the dense scan.
+    const double range = channel_->max_detectable_range(fading_margin_db);
+    if (std::isfinite(range) && range > 0.0 && n > 1) {
+      if (!grid_ready_) {
+        std::vector<geo::Vec2> positions(n);
+        for (std::size_t i = 0; i < n; ++i) positions[i] = devices_[i].position;
+        grid_.build(positions, range);
+        grid_ready_ = true;
+      }
+      std::vector<std::uint32_t> near;
+      for (std::size_t u = 0; u < n; ++u) {
+        near.clear();
+        grid_.gather(devices_[u].position, range, near);
+        std::sort(near.begin(), near.end());
+        for (const std::uint32_t v : near) {
+          if (v <= u) continue;
+          const util::Dbm mean = channel_->mean_received_power_uncached(
+              devices_[u].id, devices_[u].position, devices_[v].id, devices_[v].position);
+          admit_candidate(u, v, mean, cutoff);
+        }
+      }
+    } else {
+      // Unbounded shadowing or degenerate world: no spatial pruning, but
+      // the memoised fast path still applies.
+      for (std::size_t u = 0; u < n; ++u) {
+        for (std::size_t v = u + 1; v < n; ++v) {
+          const util::Dbm mean = channel_->mean_received_power_uncached(
+              devices_[u].id, devices_[u].position, devices_[v].id, devices_[v].position);
+          admit_candidate(u, v, mean, cutoff);
+        }
+      }
+    }
+  } else {
+    // Dense reference: the memo-backed channel query keeps the legacy
+    // per-link cache as the delivery path's working set.
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        const util::Dbm mean = channel_->mean_received_power(
+            devices_[u].id, devices_[u].position, devices_[v].id, devices_[v].position);
+        admit_candidate(u, v, mean, cutoff);
+      }
     }
   }
   cache_valid_ = true;
@@ -131,10 +204,49 @@ void RadioMedium::flush_slot() {
     buckets[rx_index].push_back(Audible{&tx, power});
   };
 
-  if (cache_valid_) {
+  if (cache_valid_ && grid_delivery_) {
+    // Memoised fast path: the candidate's mean power replaces the per-pair
+    // path-loss + shadowing recomputation, and most sub-threshold fades are
+    // rejected on the linear gain alone.  Gate order and the fading-stream
+    // consumption mirror add_audible exactly, so the delivered receptions
+    // are bit-identical to the dense path's.
     for (const PendingTx& tx : batch) {
-      for (const std::size_t rx_index : candidates_[index_of(tx.sender)]) {
-        add_audible(rx_index, tx);
+      for (const Candidate& c : candidates_[index_of(tx.sender)]) {
+        if (down_[c.rx_index] != 0) continue;  // crashed receiver hears nothing
+        if (any_listening_) {  // avoid the DeviceEntry load when no gates exist
+          const DeviceEntry& rx = devices_[c.rx_index];
+          if (rx.listening && !rx.listening()) continue;  // duty-cycled, asleep
+        }
+        double gain;
+        if (uniform_skip_) {
+          // Raw-uniform shortcut: same single generator step, but the
+          // provably sub-threshold draws never pay the gain transform.
+          const double u = channel_->sample_fading_uniform();
+          if (!fault_ && u >= c.skip_u) continue;
+          gain = channel_->fading().gain_from_uniform(u);
+        } else {
+          gain = channel_->sample_fading_gain();
+          if (!fault_ && gain < c.skip_gain) continue;  // provably sub-threshold
+        }
+        util::Dbm power = util::Dbm{c.mean_dbm} - phy::FadingModel::loss_from_gain(gain);
+        if (fault_) {
+          const std::optional<util::Dbm> adjusted =
+              fault_(tx.sender, devices_[c.rx_index].id, tx.type, power);
+          if (!adjusted.has_value()) {
+            ++counters_.fault_drops;
+            continue;
+          }
+          power = *adjusted;
+        }
+        if (!channel_->detectable(power)) continue;
+        if (buckets[c.rx_index].empty()) touched.push_back(c.rx_index);
+        buckets[c.rx_index].push_back(Audible{&tx, power});
+      }
+    }
+  } else if (cache_valid_) {
+    for (const PendingTx& tx : batch) {
+      for (const Candidate& c : candidates_[index_of(tx.sender)]) {
+        add_audible(c.rx_index, tx);
       }
     }
   } else {

@@ -10,11 +10,13 @@
 // counts are measured identically.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "geo/grid.hpp"
 #include "geo/point.hpp"
 #include "mac/rach.hpp"
 #include "obs/telemetry.hpp"
@@ -87,13 +89,43 @@ class RadioMedium {
   /// every in-range receiver at the next slot boundary.
   void broadcast(std::uint32_t sender, Preamble preamble, PsType type, std::uint64_t payload);
 
-  /// Precompute, for every device, the receivers whose slot-averaged power
-  /// is within `fading_margin_db` of being detectable.  Rayleigh fading adds
-  /// at most ~15 dB of constructive gain with probability ~2e-14, so the
-  /// default margin makes the pruned delivery loop exact in practice while
-  /// turning per-slot cost from O(N · N) into O(N · avg-degree).  Call after
-  /// all devices are registered; invalidated by move_device.
-  void build_candidate_cache(double fading_margin_db = 15.0);
+  /// One memoised delivery candidate: a receiver whose slot-averaged power
+  /// from the paired sender is within the fading margin of detectability.
+  struct Candidate {
+    std::size_t rx_index;  ///< devices_ slot of the receiver
+    double mean_dbm;       ///< memoised mean received power (symmetric per pair)
+    double skip_gain;      ///< fading gains below this provably stay sub-threshold
+    double skip_u;         ///< uniform draws at/above this provably stay sub-threshold
+  };
+
+  /// Rebuild the candidate cache: for every device, the receivers whose
+  /// slot-averaged power is within `fading_margin_db` of being detectable,
+  /// with that mean memoised so delivery never recomputes path loss or
+  /// shadowing.  Enumeration is grid-indexed (O(N·k) cell queries keyed by
+  /// the channel's max detectable range) or dense O(N²) per
+  /// `RadioParams::spatial_index`; both produce identical caches.  Call
+  /// after registering devices and after `invalidate`.
+  void rebuild(double fading_margin_db = phy::RadioParams::kCandidateFadingMarginDb);
+  /// Mark the candidate cache stale.  Delivery falls back to a dense
+  /// per-slot scan until the next `rebuild` (`add_device` and `move_device`
+  /// invalidate implicitly; mobility steps rebuild right after moving).
+  void invalidate() { cache_valid_ = false; }
+  [[nodiscard]] bool cache_valid() const { return cache_valid_; }
+
+  /// Visit every cached candidate pair once as fn(id_u, id_v, mean_dbm)
+  /// with index(id_u) < index(id_v), in deterministic index-lexicographic
+  /// order.  Requires a valid cache.  The engine derives reliable links
+  /// from this instead of a second O(N²) channel sweep.
+  template <typename Fn>
+  void for_each_candidate_pair(Fn&& fn) const {
+    assert(cache_valid_);
+    for (std::size_t u = 0; u < candidates_.size(); ++u) {
+      for (const Candidate& c : candidates_[u]) {
+        if (c.rx_index <= u) continue;
+        fn(devices_[u].id, devices_[c.rx_index].id, util::Dbm{c.mean_dbm});
+      }
+    }
+  }
 
   [[nodiscard]] const TrafficCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
@@ -130,6 +162,7 @@ class RadioMedium {
   void ensure_flush_scheduled();
   void flush_slot();
   [[nodiscard]] std::size_t index_of(std::uint32_t id) const;
+  void admit_candidate(std::size_t u, std::size_t v, util::Dbm mean, util::Dbm cutoff);
 
   sim::Simulator* sim_;
   phy::Channel* channel_;
@@ -138,14 +171,21 @@ class RadioMedium {
   std::vector<std::size_t> id_to_index_;  // device id -> devices_ slot
   std::vector<std::uint8_t> down_;        // by device index; 1 = crashed
   FaultFn fault_;
+  bool any_listening_ = false;  // duty-cycle gates exist: fast path must probe them
   std::vector<PendingTx> pending_;
   bool flush_scheduled_ = false;
   TrafficCounters counters_;
   phy::EnergyMeter* energy_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
-  // candidates_[index_of(sender)] = receiver indices possibly in range.
-  std::vector<std::vector<std::size_t>> candidates_;
+  // candidates_[index_of(sender)] = receivers possibly in range, with the
+  // pair's mean power memoised (ascending rx_index; identical for grid and
+  // dense enumeration).
+  std::vector<std::vector<Candidate>> candidates_;
   bool cache_valid_ = false;
+  bool uniform_skip_ = false;  // fading model offers the u-space skip test
+  geo::SpatialGrid grid_;
+  bool grid_ready_ = false;     // cell membership current (maintained by move_device)
+  bool grid_delivery_ = false;  // cache built for the memoised fast path
 };
 
 }  // namespace firefly::mac

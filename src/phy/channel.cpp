@@ -1,6 +1,8 @@
 #include "phy/channel.hpp"
 
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 namespace firefly::phy {
 
@@ -28,8 +30,24 @@ util::Dbm Channel::mean_received_power(std::uint32_t tx_id, geo::Vec2 tx_pos,
   return params_.tx_power - pathloss_->loss(d) - shadowing_->sample(tx_id, rx_id);
 }
 
+util::Dbm Channel::mean_received_power_uncached(std::uint32_t tx_id, geo::Vec2 tx_pos,
+                                                std::uint32_t rx_id, geo::Vec2 rx_pos) {
+  // Mirrors mean_received_power term-for-term so the two are bit-identical
+  // for order-independent shadowing models.
+  const double d = geo::distance(tx_pos, rx_pos);
+  return params_.tx_power - pathloss_->loss(d) - shadowing_->sample_uncached(tx_id, rx_id);
+}
+
 double Channel::median_range() const {
   const util::Db budget = params_.tx_power - params_.detection_threshold;
+  return pathloss_->distance_for_loss(budget);
+}
+
+double Channel::max_detectable_range(double extra_margin_db) const {
+  const double shadow_gain = shadowing_->max_gain_db();
+  if (!std::isfinite(shadow_gain)) return std::numeric_limits<double>::infinity();
+  const util::Db budget = (params_.tx_power - params_.detection_threshold) +
+                          util::Db{extra_margin_db + shadow_gain};
   return pathloss_->distance_for_loss(budget);
 }
 
@@ -38,7 +56,7 @@ std::unique_ptr<Channel> make_paper_channel(std::uint64_t master_seed, RadioPara
   return std::make_unique<Channel>(
       params, make_paper_model(),
       std::make_unique<PerLinkShadowing>(params.shadowing_sigma_db,
-                                         factory.make("phy.shadowing")),
+                                         util::derive_seed(master_seed, "phy.shadowing")),
       std::make_unique<RayleighFading>(), factory.make("phy.fading"));
 }
 

@@ -22,6 +22,12 @@
 
 namespace firefly::phy {
 
+/// How the radio medium enumerates candidate receiver pairs.
+enum class SpatialIndex {
+  kGrid,   ///< uniform grid keyed by the max detectable range (production)
+  kDense,  ///< exhaustive O(N²) scans (reference baseline for A/B tests)
+};
+
 /// Table I radio constants.
 struct RadioParams {
   util::Dbm tx_power{23.0};             ///< device power, 23 dBm
@@ -41,6 +47,15 @@ struct RadioParams {
   /// sync criterion (weaker links fade below threshold too often to owe
   /// either).
   double reliable_link_margin_db{6.0};
+  /// Fading headroom for candidate-cache pruning: receivers whose
+  /// slot-averaged power is within this margin of the detection threshold
+  /// stay delivery candidates (see RadioMedium::rebuild).  Rayleigh fading
+  /// adds at most ~15 dB of constructive gain with probability ~2e-14, so
+  /// this margin makes the pruned delivery loop exact in practice.
+  static constexpr double kCandidateFadingMarginDb = 15.0;
+  /// Candidate enumeration strategy: grid (production) or the dense
+  /// reference the equivalence tests and scaling bench compare against.
+  SpatialIndex spatial_index{SpatialIndex::kGrid};
 };
 
 class Channel {
@@ -59,6 +74,25 @@ class Channel {
   [[nodiscard]] util::Dbm mean_received_power(std::uint32_t tx_id, geo::Vec2 tx_pos,
                                               std::uint32_t rx_id, geo::Vec2 rx_pos);
 
+  /// Same value as `mean_received_power` for order-independent shadowing
+  /// models, via the model's cache-free path: bulk candidate rebuilds use
+  /// it so scanning millions of pairs does not grow the per-link memo.
+  [[nodiscard]] util::Dbm mean_received_power_uncached(std::uint32_t tx_id, geo::Vec2 tx_pos,
+                                                       std::uint32_t rx_id, geo::Vec2 rx_pos);
+
+  /// One fast-fading power gain from the shared per-delivery stream;
+  /// consumes exactly the randomness `received_power` would.  The radio's
+  /// spatial-index fast path draws the gain, compares it against a
+  /// precomputed linear threshold and only converts to dBm when audible.
+  [[nodiscard]] double sample_fading_gain() { return fading_->sample_gain(fading_rng_); }
+
+  /// The raw uniform behind one fading draw, for models with
+  /// `supports_uniform_skip()`: consumes the same single generator step
+  /// `sample_fading_gain` would, letting the radio compare it against a
+  /// candidate's precomputed `skip_u` bound before paying the gain
+  /// transform.
+  [[nodiscard]] double sample_fading_uniform() { return fading_rng_.unit_open(); }
+
   [[nodiscard]] bool detectable(util::Dbm rx) const {
     return rx >= params_.detection_threshold;
   }
@@ -68,9 +102,17 @@ class Channel {
   /// neighbour candidate sets.
   [[nodiscard]] double median_range() const;
 
+  /// Hard upper bound on the distance at which a slot-averaged reception
+  /// can clear the detection threshold, given the path-loss budget, the
+  /// shadowing model's bounded gain and `extra_margin_db` of headroom
+  /// (e.g. the candidate fading margin).  +inf when the shadowing model is
+  /// unbounded — spatial pruning then degrades to a dense scan.
+  [[nodiscard]] double max_detectable_range(double extra_margin_db = 0.0) const;
+
   [[nodiscard]] const RadioParams& params() const { return params_; }
   [[nodiscard]] const PathLossModel& pathloss() const { return *pathloss_; }
   [[nodiscard]] ShadowingModel& shadowing() { return *shadowing_; }
+  [[nodiscard]] const FadingModel& fading() const { return *fading_; }
 
  private:
   RadioParams params_;

@@ -5,32 +5,22 @@
 
 namespace firefly::phy {
 
-namespace {
-// Floor on the linear power gain so a deep fade produces a large but finite
-// loss (-60 dB) rather than -inf, which would poison dB arithmetic.
-constexpr double kGainFloor = 1e-6;
-
-util::Db loss_from_gain(double gain) {
-  return util::Db{-10.0 * std::log10(std::max(gain, kGainFloor))};
-}
-}  // namespace
-
-util::Db RayleighFading::sample(util::Rng& rng) const {
-  return loss_from_gain(rng.exponential(1.0));
+double RayleighFading::sample_gain(util::Rng& rng) const {
+  return rng.exponential(1.0);
 }
 
-util::Db RicianFading::sample(util::Rng& rng) const {
+double RicianFading::sample_gain(util::Rng& rng) const {
   // Complex channel h = sqrt(K/(K+1)) + (x + iy)/sqrt(2(K+1)),
   // x, y ~ N(0,1): E[|h|²] = K/(K+1) + 1/(K+1) = 1.
   const double los = std::sqrt(k_ / (k_ + 1.0));
   const double scatter_scale = std::sqrt(1.0 / (2.0 * (k_ + 1.0)));
   const double re = los + scatter_scale * rng.normal();
   const double im = scatter_scale * rng.normal();
-  return loss_from_gain(re * re + im * im);
+  return re * re + im * im;
 }
 
-util::Db NakagamiFading::sample(util::Rng& rng) const {
-  return loss_from_gain(rng.gamma(m_, 1.0 / m_));
+double NakagamiFading::sample_gain(util::Rng& rng) const {
+  return rng.gamma(m_, 1.0 / m_);
 }
 
 }  // namespace firefly::phy

@@ -62,12 +62,6 @@ double Rng::normal() {
 
 double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
 
-double Rng::exponential(double rate) {
-  assert(rate > 0.0);
-  const double u = (static_cast<double>(engine_.next() >> 11) + 0.5) * 0x1.0p-53;
-  return -std::log(u) / rate;
-}
-
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
 double Rng::rayleigh(double sigma) {

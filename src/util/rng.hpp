@@ -8,6 +8,8 @@
 // (master_seed, stream_name, trial_index).
 #pragma once
 
+#include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <string_view>
 
@@ -67,8 +69,20 @@ class Rng {
   double normal();
   /// Normal with the given mean and standard deviation.
   double normal(double mean, double stddev);
-  /// Exponential with the given rate λ (> 0).
-  double exponential(double rate);
+  /// Uniform in (0, 1), offset away from zero: the single generator step
+  /// underlying `exponential` (and the Rayleigh power-gain draw).  Exposed
+  /// so the radio's delivery fast path can test the raw uniform against a
+  /// precomputed bound and only pay the log for survivors.
+  double unit_open() {
+    return (static_cast<double>(engine_.next() >> 11) + 0.5) * 0x1.0p-53;
+  }
+  /// Exponential with the given rate λ (> 0).  Inline: it is the Rayleigh
+  /// power-gain draw, which delivery evaluation performs once per
+  /// candidate receiver — millions of times per large trial.
+  double exponential(double rate) {
+    assert(rate > 0.0);
+    return -std::log(unit_open()) / rate;
+  }
   /// Bernoulli trial with success probability p.
   bool bernoulli(double p);
   /// Rayleigh-distributed amplitude with scale σ.

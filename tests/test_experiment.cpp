@@ -84,7 +84,15 @@ TEST(Sweep, MasterSeedChangesResults) {
   b.master_seed = a.master_seed + 1;
   const auto pa = core::sweep(Protocol::kFst, a);
   const auto pb = core::sweep(Protocol::kFst, b);
-  EXPECT_NE(pa[0].total_messages.mean(), pb[0].total_messages.mean());
+  // FST message counts are quantised to n per period, so two seeds that
+  // happen to converge in the same number of periods tie on that statistic.
+  // Collision counts are per-delivery stochastic; require that at least one
+  // of the tracked statistics moved with the seed.
+  const bool any_differ =
+      pa[0].total_messages.mean() != pb[0].total_messages.mean() ||
+      pa[0].collisions.mean() != pb[0].collisions.mean() ||
+      pa[0].convergence_ms.mean() != pb[0].convergence_ms.mean();
+  EXPECT_TRUE(any_differ);
 }
 
 }  // namespace

@@ -349,8 +349,8 @@ TEST(ObsDeterminism, SweepWithTelemetryMatchesSweepWithout) {
   std::ostringstream progress_out;
   obs::ProgressReporter progress("test", sweep_config.total_trials(),
                                  std::chrono::milliseconds(0), &progress_out);
-  sweep_config.telemetry = &telemetry;
-  sweep_config.progress = &progress;
+  sweep_config.hooks.telemetry = &telemetry;
+  sweep_config.hooks.progress = &progress;
   const auto observed = core::sweep(core::Protocol::kSt, sweep_config);
 
   ASSERT_EQ(bare.size(), observed.size());

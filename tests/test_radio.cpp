@@ -165,7 +165,7 @@ TEST(Radio, CandidateCacheMatchesFullScan) {
     for (std::uint32_t i = 1; i <= 30; ++i) {
       w.add(i, {static_cast<double>(i * 4), 0.0});
     }
-    if (use_cache) w.radio->build_candidate_cache();
+    if (use_cache) w.radio->rebuild();
     w.sim.schedule_at(sim::SimTime::zero(), [&] {
       w.radio->broadcast(0, {RachCodec::kRach1, 0}, PsType::kSyncPulse, 0);
     });
