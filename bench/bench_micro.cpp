@@ -22,6 +22,7 @@
 #include "phy/channel.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "sim/slot_calendar.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -41,6 +42,61 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_SlotCalendarScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<std::int64_t> times(n);
+  for (auto& t : times) t = static_cast<std::int64_t>(rng.uniform_index(1'000'000));
+  for (auto _ : state) {
+    sim::SlotCalendar q;
+    for (const auto t : times) q.schedule(sim::SimTime::microseconds(t), [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SlotCalendarScheduleAndPop)->Arg(1024)->Arg(16384);
+
+// The engine's dominant scheduling pattern: N pending fire events, each pop
+// reschedules one period (100 slots) ahead, with periodic cancel+reschedule
+// standing in for pulse-coupling absorption.  Run against both schedulers.
+template <typename Queue>
+void period_reschedule_pattern(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::int64_t kPeriodMs = 100;
+  for (auto _ : state) {
+    Queue q;
+    std::vector<sim::EventId> ids(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[i] = q.schedule(sim::SimTime::milliseconds(static_cast<std::int64_t>(i % 100)),
+                          [] {});
+    }
+    std::size_t victim = 0;
+    for (int step = 0; step < 20000; ++step) {
+      auto fired = q.pop();
+      q.schedule(fired.time + sim::SimTime::milliseconds(kPeriodMs), [] {});
+      if ((step & 3) == 0) {
+        // Absorption: cancel a tracked event and re-arm it one period out.
+        if (q.cancel(ids[victim])) {
+          ids[victim] =
+              q.schedule(fired.time + sim::SimTime::milliseconds(kPeriodMs), [] {});
+        }
+        victim = (victim + 1) % n;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 20000);
+}
+
+void BM_WheelPeriodReschedule(benchmark::State& state) {
+  period_reschedule_pattern<sim::SlotCalendar>(state);
+}
+BENCHMARK(BM_WheelPeriodReschedule)->Arg(256)->Arg(2048);
+
+void BM_HeapPeriodReschedule(benchmark::State& state) {
+  period_reschedule_pattern<sim::EventQueue>(state);
+}
+BENCHMARK(BM_HeapPeriodReschedule)->Arg(256)->Arg(2048);
 
 void BM_SimulatorPeriodicTimers(benchmark::State& state) {
   const auto timers = static_cast<std::size_t>(state.range(0));
@@ -153,6 +209,37 @@ void BM_RadioSlotFlush(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * txs));
 }
 BENCHMARK(BM_RadioSlotFlush)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_RadioBatchedDeliverySweep(benchmark::State& state) {
+  // The batched SoA delivery path at scale: a 1000-device network, `txs`
+  // broadcasts per slot, no faults/duty/downs so the one-fill-per-sender
+  // sweep is active.  Compare against BM_RadioSlotFlush for the small-N
+  // constant.
+  const auto txs = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  auto channel = phy::make_paper_channel(6);
+  mac::RadioMedium radio(&sim, channel.get());
+  util::Rng rng(7);
+  const std::size_t n = 1000;
+  for (std::uint32_t id = 0; id < n; ++id) {
+    radio.add_device(id, {rng.uniform(0.0, 450.0), rng.uniform(0.0, 450.0)},
+                     [](const mac::Reception&) {});
+  }
+  radio.rebuild();
+  std::uint64_t slot = 1;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < txs; ++i) {
+      radio.broadcast(static_cast<std::uint32_t>((i * 37) % n),
+                      {mac::RachCodec::kRach1,
+                       static_cast<std::uint32_t>(rng.uniform_index(64))},
+                      mac::PsType::kSyncPulse, 0);
+    }
+    sim.run_until(sim::SimTime::milliseconds(static_cast<std::int64_t>(slot)));
+    ++slot;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * txs));
+}
+BENCHMARK(BM_RadioBatchedDeliverySweep)->Arg(32)->Arg(256);
 
 }  // namespace
 

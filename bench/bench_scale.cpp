@@ -1,19 +1,27 @@
-// bench_scale — spatial-index scaling: grid vs dense wall-clock at large N.
+// bench_scale — scaling benchmark: spatial index × scheduler at large N.
 //
 // Runs the ST protocol at N ∈ {1000, 2000, 5000} (density-scaled area, so
-// the network stays multi-hop) once per trial under both candidate
-// enumeration strategies and reports the wall-clock ratio.  The dense runs
-// are the exhaustive O(N²) reference; the grid runs must produce
-// bit-identical RunMetrics (asserted per trial and reported in the JSON as
-// `metrics_identical`), so any speedup is a pure optimisation.
+// the network stays multi-hop) once per trial under three configurations:
+//
+//   dense+heap  — exhaustive O(N²) candidate enumeration, binary-heap
+//                 scheduler: the reference everything is measured against.
+//   grid+heap   — spatial-index fast path, heap scheduler: isolates the
+//                 candidate-enumeration speedup (grid_vs_dense).
+//   grid+wheel  — spatial index plus the slot-calendar scheduler: the
+//                 production path; wheel_vs_heap isolates the scheduler win.
+//
+// All three must produce bit-identical RunMetrics (asserted per trial and
+// reported in the JSON as `metrics_identical`), so any speedup is a pure
+// optimisation.
 //
 //   bench_scale [--trials K] [--json scale.json]
 //   FIREFLY_BENCH_MAX_N=2000 bench_scale      # trim the sweep
 //
 // JSONL output (firefly-bench-v1): one "scale" record per (n, mode, trial)
 // with the measured wall_ms, then one "speedup" record per n.  Wall-clock
-// fields make this file machine-speed dependent — diff the "scale" records'
-// converged/total_messages columns, not the timings.
+// fields make this file machine-speed dependent — regression checks should
+// compare the *ratios* (see tools/check_bench_json --baseline), not the
+// absolute timings.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -25,11 +33,24 @@
 #include "bench_common.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace firefly;
+
+struct Mode {
+  const char* name;
+  phy::SpatialIndex index;
+  sim::SchedulerKind scheduler;
+};
+
+constexpr Mode kModes[] = {
+    {"dense", phy::SpatialIndex::kDense, sim::SchedulerKind::kHeap},
+    {"grid", phy::SpatialIndex::kGrid, sim::SchedulerKind::kHeap},
+    {"grid+wheel", phy::SpatialIndex::kGrid, sim::SchedulerKind::kWheel},
+};
 
 struct TrialResult {
   double wall_ms{0.0};
@@ -37,12 +58,13 @@ struct TrialResult {
   std::string metrics_json;
 };
 
-TrialResult run_one(std::size_t n, std::size_t trial, phy::SpatialIndex index) {
+TrialResult run_one(std::size_t n, std::size_t trial, const Mode& mode) {
   core::ScenarioConfig config;
   config.n = n;
   config.seed = util::derive_seed(2015, "bench_scale",
                                   (static_cast<std::uint64_t>(n) << 20) | trial);
-  config.radio.spatial_index = index;
+  config.radio.spatial_index = mode.index;
+  config.protocol.scheduler = mode.scheduler;
 
   TrialResult result;
   const auto start = std::chrono::steady_clock::now();
@@ -55,10 +77,6 @@ TrialResult run_one(std::size_t n, std::size_t trial, phy::SpatialIndex index) {
   core::write_run_metrics_json(w, result.metrics);
   result.metrics_json = oss.str();
   return result;
-}
-
-const char* mode_name(phy::SpatialIndex index) {
-  return index == phy::SpatialIndex::kGrid ? "grid" : "dense";
 }
 
 }  // namespace
@@ -89,27 +107,28 @@ int main(int argc, char** argv) {
 
   json.write_meta();
 
-  util::Table table("bench_scale — ST wall-clock, grid vs dense candidate enumeration");
-  table.set_headers({"N", "trials", "dense ms", "grid ms", "speedup", "identical"});
+  util::Table table("bench_scale — ST wall-clock: dense+heap vs grid+heap vs grid+wheel");
+  table.set_headers({"N", "trials", "dense ms", "grid ms", "wheel ms", "grid/dense",
+                     "wheel/heap", "identical"});
 
   bool all_identical = true;
   for (const std::size_t n : ns) {
-    double dense_ms = 0.0;
-    double grid_ms = 0.0;
+    double mode_ms[3] = {0.0, 0.0, 0.0};
     bool identical = true;
     for (std::size_t trial = 0; trial < trials; ++trial) {
-      std::string dense_json;
-      for (const phy::SpatialIndex index :
-           {phy::SpatialIndex::kDense, phy::SpatialIndex::kGrid}) {
-        std::cerr << "bench_scale: n=" << n << " mode=" << mode_name(index)
+      std::string reference_json;
+      for (std::size_t m = 0; m < 3; ++m) {
+        const Mode& mode = kModes[m];
+        std::cerr << "bench_scale: n=" << n << " mode=" << mode.name
                   << " trial=" << trial << "..." << std::flush;
-        const TrialResult result = run_one(n, trial, index);
+        const TrialResult result = run_one(n, trial, mode);
         std::cerr << ' ' << util::Table::num(result.wall_ms) << " ms\n";
-        (index == phy::SpatialIndex::kDense ? dense_ms : grid_ms) += result.wall_ms;
+        mode_ms[m] += result.wall_ms;
         json.write_object([&](obs::JsonWriter& w) {
           w.field("series", "scale");
           w.field("protocol", "ST");
-          w.field("mode", mode_name(index));
+          w.field("mode", mode.name);
+          w.field("scheduler", sim::to_string(mode.scheduler));
           w.field("n", static_cast<std::uint64_t>(n));
           w.field("trial", static_cast<std::uint64_t>(trial));
           w.field("wall_ms", result.wall_ms);
@@ -117,17 +136,21 @@ int main(int argc, char** argv) {
           w.field("total_messages", result.metrics.total_messages());
           w.field("deliveries", result.metrics.deliveries);
         });
-        // Compare grid against the dense run of the same (n, trial).
-        if (index == phy::SpatialIndex::kDense) {
-          dense_json = result.metrics_json;
-        } else if (result.metrics_json != dense_json) {
+        // Every mode must reproduce the dense+heap reference bit for bit.
+        if (m == 0) {
+          reference_json = result.metrics_json;
+        } else if (result.metrics_json != reference_json) {
           identical = false;
         }
       }
     }
-    dense_ms /= static_cast<double>(trials);
-    grid_ms /= static_cast<double>(trials);
-    const double speedup = grid_ms > 0.0 ? dense_ms / grid_ms : 0.0;
+    for (double& ms : mode_ms) ms /= static_cast<double>(trials);
+    const double dense_ms = mode_ms[0];
+    const double heap_ms = mode_ms[1];   // grid + heap
+    const double wheel_ms = mode_ms[2];  // grid + wheel
+    const double grid_vs_dense = heap_ms > 0.0 ? dense_ms / heap_ms : 0.0;
+    const double wheel_vs_heap = wheel_ms > 0.0 ? heap_ms / wheel_ms : 0.0;
+    const double speedup = wheel_ms > 0.0 ? dense_ms / wheel_ms : 0.0;
     all_identical = all_identical && identical;
 
     json.write_object([&](obs::JsonWriter& w) {
@@ -136,19 +159,23 @@ int main(int argc, char** argv) {
       w.field("n", static_cast<std::uint64_t>(n));
       w.field("trials", static_cast<std::uint64_t>(trials));
       w.field("dense_ms", dense_ms);
-      w.field("grid_ms", grid_ms);
+      w.field("heap_ms", heap_ms);
+      w.field("wheel_ms", wheel_ms);
+      w.field("grid_vs_dense", grid_vs_dense);
+      w.field("wheel_vs_heap", wheel_vs_heap);
       w.field("speedup", speedup);
       w.field("metrics_identical", identical);
     });
     table.add_row({util::Table::num(n), util::Table::num(trials),
-                   util::Table::num(dense_ms), util::Table::num(grid_ms),
-                   util::Table::num(speedup), identical ? "yes" : "NO"});
+                   util::Table::num(dense_ms), util::Table::num(heap_ms),
+                   util::Table::num(wheel_ms), util::Table::num(grid_vs_dense),
+                   util::Table::num(wheel_vs_heap), identical ? "yes" : "NO"});
   }
 
   table.print(std::cout);
   if (json) std::cout << "\nJSON written to " << json.path() << '\n';
   if (!all_identical) {
-    std::cerr << "bench_scale: grid metrics DIVERGED from the dense reference\n";
+    std::cerr << "bench_scale: metrics DIVERGED from the dense+heap reference\n";
     return 1;
   }
   return 0;

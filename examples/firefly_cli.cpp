@@ -10,6 +10,8 @@
 //   --area scaled|fixed [scaled]    --epsilon <PRC ε> [0.05]
 //   --period <slots> [100]          --periods <max periods> [400]
 //   --mobility <m/s> [0]            --csv <path>  (append result rows)
+//   --scheduler wheel|heap [wheel]  event scheduler (identical results;
+//                                   heap is the A/B reference baseline)
 //
 // Fault injection (any non-zero knob turns the subsystem on; the run then
 // observes through the faults instead of stopping at convergence):
@@ -36,6 +38,7 @@
 #include "core/trace.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/scheduler.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -48,7 +51,7 @@ int main(int argc, char** argv) {
     std::cout << "usage: " << flags.program()
               << " [--protocol fst|st|birthday|both|all] [--n N] [--seed S] [--trials T]\n"
                  "       [--area scaled|fixed] [--epsilon E] [--period SLOTS]\n"
-                 "       [--periods MAX] [--mobility MPS] [--csv PATH]\n"
+                 "       [--periods MAX] [--mobility MPS] [--csv PATH] [--scheduler wheel|heap]\n"
                  "       [--churn PER_MIN] [--downtime MS] [--churn-stop MS] [--drift PPM]\n"
                  "       [--drop P] [--fade-rate PER_MIN] [--fade-ms MS] [--fade-depth DB]\n"
                  "       [--telemetry] [--trace-chrome PATH] [--metrics-out PATH]\n"
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
   base.protocol.max_periods =
       static_cast<std::uint32_t>(flags.get("periods", std::int64_t{400}));
   base.protocol.mobility_speed_mps = flags.get("mobility", 0.0);
+  base.protocol.scheduler = sim::scheduler_from_string(flags.get("scheduler", std::string("wheel")));
   fault::FaultPlan& faults = base.protocol.faults;
   faults.churn_rate_per_min = flags.get("churn", 0.0);
   faults.mean_downtime_ms = flags.get("downtime", faults.mean_downtime_ms);

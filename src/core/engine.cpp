@@ -12,7 +12,8 @@ namespace firefly::core {
 
 EngineBase::EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
                        phy::RadioParams radio_params, std::uint64_t seed)
-    : channel_(phy::make_paper_channel(seed, radio_params)),
+    : sim_(params.scheduler),
+      channel_(phy::make_paper_channel(seed, radio_params)),
       radio_(&sim_, channel_.get(), radio_params.capture_margin_db),
       params_(params),
       detector_(positions.size(), params.period_slots, params.tolerance_slots),
@@ -54,6 +55,13 @@ EngineBase::EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
         std::move(listening));
   }
   radio_.rebuild();
+  // Cache warmer only — never observable in results.  Engine ids are dense
+  // indices (d.id == its devices_ slot), so rx_id indexes directly.
+  radio_.set_delivery_prefetch(
+      [this](std::uint32_t rx_id, const std::uint32_t* senders, std::size_t count) {
+        const Device& d = devices_[rx_id];
+        for (std::size_t i = 0; i < count; ++i) d.neighbors.prefetch(senders[i]);
+      });
 
   if (params_.faults.enabled()) {
     injector_ = std::make_unique<fault::FaultInjector>(
@@ -198,10 +206,10 @@ void EngineBase::update_neighbor(Device& device, const mac::Reception& reception
   }
   ++info.heard_count;
   info.last_heard_slot = current_slot();
-  const Fields f = unpack(reception.payload);
   // Sync pulses and discovery beacons carry (fragment, service); control
   // messages carry other fields, so only refresh from beacons.
   if (reception.type == mac::PsType::kSyncPulse || reception.type == mac::PsType::kDiscovery) {
+    const Fields f = unpack(reception.payload);
     info.fragment = f.a;
     info.service = f.b;
   }

@@ -1,7 +1,5 @@
 #include "core/experiment.hpp"
 
-#include <mutex>
-
 #include "obs/timer.hpp"
 #include "util/rng.hpp"
 
@@ -18,8 +16,7 @@ ScenarioConfig trial_config(const SweepConfig& sweep_config, std::size_t n,
   return config;
 }
 
-void accumulate(SweepPoint& point, const RunMetrics& metrics, std::mutex& mutex) {
-  const std::lock_guard<std::mutex> lock(mutex);
+void accumulate(SweepPoint& point, const RunMetrics& metrics) {
   ++point.trials;
   if (!metrics.converged) {
     point.failure_rate += 1.0;  // normalised after the loop
@@ -41,26 +38,31 @@ std::vector<SweepPoint> sweep(Protocol protocol, const SweepConfig& config,
   std::vector<SweepPoint> points(config.ns.size());
   for (std::size_t i = 0; i < config.ns.size(); ++i) points[i].n = config.ns[i];
 
-  std::mutex mutex;
-  auto run_one = [&](std::size_t point_index, std::size_t trial) {
+  // Workers write each trial's metrics into its own pre-allocated slot
+  // (indexed by flat trial number), so the parallel phase shares nothing —
+  // no mutex, no contention.  Accumulation then runs sequentially in flat
+  // trial order, which makes the resulting SweepPoints (including the
+  // per-trial value order inside each util::Sample) identical for a serial
+  // run and for any pool size.
+  const std::size_t total = config.ns.size() * config.trials;
+  std::vector<RunMetrics> results(total);
+
+  auto run_one = [&](std::size_t flat) {
+    const std::size_t point_index = flat / config.trials;
+    const std::size_t trial = flat % config.trials;
     const ScenarioConfig trial_cfg = trial_config(config, points[point_index].n, trial);
-    RunMetrics metrics;
-    {
-      const obs::ScopedTimer span(config.hooks.telemetry, obs::SpanId::kTrial);
-      metrics = run_trial(protocol, trial_cfg, config.hooks);
-    }
-    accumulate(points[point_index], metrics, mutex);
+    const obs::ScopedTimer span(config.hooks.telemetry, obs::SpanId::kTrial);
+    results[flat] = run_trial(protocol, trial_cfg, config.hooks);
   };
 
   if (pool != nullptr) {
-    const std::size_t total = config.ns.size() * config.trials;
-    pool->parallel_for(total, [&](std::size_t flat) {
-      run_one(flat / config.trials, flat % config.trials);
-    });
+    pool->parallel_for(total, run_one);
   } else {
-    for (std::size_t i = 0; i < config.ns.size(); ++i) {
-      for (std::size_t t = 0; t < config.trials; ++t) run_one(i, t);
-    }
+    for (std::size_t flat = 0; flat < total; ++flat) run_one(flat);
+  }
+
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    accumulate(points[flat / config.trials], results[flat]);
   }
 
   for (SweepPoint& point : points) {

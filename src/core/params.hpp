@@ -13,10 +13,16 @@
 
 #include "fault/fault_plan.hpp"
 #include "pco/prc.hpp"
+#include "sim/scheduler.hpp"
 
 namespace firefly::core {
 
 struct ProtocolParams {
+  // --- simulator ---
+  /// Pending-event-set implementation.  Results are bit-identical for both
+  /// (enforced by test_scheduler_equivalence); the wheel is faster.
+  sim::SchedulerKind scheduler{sim::SchedulerKind::kWheel};
+
   // --- oscillator ---
   std::uint32_t period_slots{100};      ///< T: firing period (slots of 1 ms)
   pco::PrcParams prc{3.0, 0.05};        ///< eq. 5 coupling (a, ε): α≈1.16, β≈0.008

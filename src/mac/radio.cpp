@@ -30,7 +30,16 @@ void RadioMedium::add_device(std::uint32_t id, geo::Vec2 position, ReceiveFn on_
 }
 
 void RadioMedium::set_down(std::uint32_t id, bool down) {
-  down_[index_of(id)] = down ? 1 : 0;
+  std::uint8_t& flag = down_[index_of(id)];
+  const std::uint8_t next = down ? 1 : 0;
+  if (flag == next) return;
+  flag = next;
+  if (down) {
+    ++down_count_;
+  } else {
+    assert(down_count_ > 0);
+    --down_count_;
+  }
 }
 
 bool RadioMedium::is_down(std::uint32_t id) const {
@@ -76,13 +85,46 @@ void RadioMedium::admit_candidate(std::size_t u, std::size_t v, util::Dbm mean,
   // offers no uniform shortcut; skip_gain 0 maps to skip_u > 1 likewise).
   const double skip_u =
       uniform_skip_ ? channel_->fading().skip_u(skip_gain) : 2.0;
-  candidates_[u].push_back(Candidate{v, mean.value, skip_gain, skip_u});
-  candidates_[v].push_back(Candidate{u, mean.value, skip_gain, skip_u});
+  pair_scratch_.push_back(PairRec{static_cast<std::uint32_t>(u),
+                                  static_cast<std::uint32_t>(v), mean.value,
+                                  skip_gain, skip_u});
+}
+
+void RadioMedium::scatter_candidates() {
+  const std::size_t n = devices_.size();
+  cand_offsets_.assign(n + 1, 0);
+  for (const PairRec& p : pair_scratch_) {
+    ++cand_offsets_[p.u + 1];
+    ++cand_offsets_[p.v + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) cand_offsets_[i + 1] += cand_offsets_[i];
+  const std::size_t total = cand_offsets_[n];
+  cand_rx_.resize(total);
+  cand_mean_.resize(total);
+  cand_skip_gain_.resize(total);
+  cand_skip_u_.resize(total);
+  cand_cursor_.assign(cand_offsets_.begin(), cand_offsets_.end() - 1);
+  // Scatter in admission order.  Pairs are admitted with u ascending and v
+  // ascending within u, so each sender's slice fills in ascending receiver
+  // index — the same per-sender order the per-sender push_backs used to
+  // produce, which is what pins the fading-draw order at delivery.
+  for (const PairRec& p : pair_scratch_) {
+    const std::size_t ku = cand_cursor_[p.u]++;
+    cand_rx_[ku] = p.v;
+    cand_mean_[ku] = p.mean_dbm;
+    cand_skip_gain_[ku] = p.skip_gain;
+    cand_skip_u_[ku] = p.skip_u;
+    const std::size_t kv = cand_cursor_[p.v]++;
+    cand_rx_[kv] = p.u;
+    cand_mean_[kv] = p.mean_dbm;
+    cand_skip_gain_[kv] = p.skip_gain;
+    cand_skip_u_[kv] = p.skip_u;
+  }
 }
 
 void RadioMedium::rebuild(double fading_margin_db) {
   const std::size_t n = devices_.size();
-  candidates_.assign(n, {});
+  pair_scratch_.clear();
   const util::Dbm cutoff = channel_->params().detection_threshold - util::Db{fading_margin_db};
   grid_delivery_ = channel_->params().spatial_index == phy::SpatialIndex::kGrid;
   uniform_skip_ = channel_->fading().supports_uniform_skip();
@@ -135,6 +177,7 @@ void RadioMedium::rebuild(double fading_margin_db) {
       }
     }
   }
+  scatter_candidates();
   cache_valid_ = true;
 }
 
@@ -161,112 +204,195 @@ void RadioMedium::ensure_flush_scheduled() {
   sim_->schedule_at(boundary, [this] { flush_slot(); });
 }
 
-void RadioMedium::flush_slot() {
-  flush_scheduled_ = false;
-  std::vector<PendingTx> batch;
-  batch.swap(pending_);
-  if (batch.empty()) return;
-  const obs::ScopedTimer span(telemetry_, obs::SpanId::kSlotDelivery,
-                              telemetry_ != nullptr ? sim_->now().as_milliseconds() : -1.0);
-  if (telemetry_ != nullptr) {
-    telemetry_->observe("radio.slot_batch", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024},
-                        static_cast<double>(batch.size()));
-  }
-
-  // Bucket audible transmissions by receiver, then resolve same-resource
-  // collisions per receiver with the capture rule.
-  struct Audible {
-    const PendingTx* tx;
-    util::Dbm power;
-  };
-  static thread_local std::vector<std::vector<Audible>> buckets;
-  static thread_local std::vector<std::size_t> touched;
-  if (buckets.size() < devices_.size()) buckets.resize(devices_.size());
-  touched.clear();
-
-  auto add_audible = [&](std::size_t rx_index, const PendingTx& tx) {
-    const DeviceEntry& rx = devices_[rx_index];
-    if (tx.sender == rx.id) return;  // half-duplex: no self-reception
-    if (down_[rx_index] != 0) return;  // crashed receiver hears nothing
-    if (rx.listening && !rx.listening()) return;  // duty-cycled receiver asleep
-    const geo::Vec2 tx_pos = devices_[index_of(tx.sender)].position;
-    util::Dbm power = channel_->received_power(tx.sender, tx_pos, rx.id, rx.position);
-    if (fault_) {
-      const std::optional<util::Dbm> adjusted = fault_(tx.sender, rx.id, tx.type, power);
-      if (!adjusted.has_value()) {
-        ++counters_.fault_drops;
-        return;
-      }
-      power = *adjusted;
+void RadioMedium::add_audible(std::size_t rx_index, const PendingTx& tx) {
+  const DeviceEntry& rx = devices_[rx_index];
+  if (tx.sender == rx.id) return;  // half-duplex: no self-reception
+  if (down_[rx_index] != 0) return;  // crashed receiver hears nothing
+  if (rx.listening && !rx.listening()) return;  // duty-cycled receiver asleep
+  const geo::Vec2 tx_pos = devices_[index_of(tx.sender)].position;
+  util::Dbm power = channel_->received_power(tx.sender, tx_pos, rx.id, rx.position);
+  if (fault_) {
+    const std::optional<util::Dbm> adjusted = fault_(tx.sender, rx.id, tx.type, power);
+    if (!adjusted.has_value()) {
+      ++counters_.fault_drops;
+      return;
     }
-    if (!channel_->detectable(power)) return;
-    if (buckets[rx_index].empty()) touched.push_back(rx_index);
-    buckets[rx_index].push_back(Audible{&tx, power});
-  };
+    power = *adjusted;
+  }
+  if (!channel_->detectable(power)) return;
+  if (buckets_[rx_index].empty()) touched_.push_back(rx_index);
+  buckets_[rx_index].push_back(Audible{&tx, power});
+}
 
-  if (cache_valid_ && grid_delivery_) {
-    // Memoised fast path: the candidate's mean power replaces the per-pair
-    // path-loss + shadowing recomputation, and most sub-threshold fades are
-    // rejected on the linear gain alone.  Gate order and the fading-stream
-    // consumption mirror add_audible exactly, so the delivered receptions
-    // are bit-identical to the dense path's.
-    for (const PendingTx& tx : batch) {
-      for (const Candidate& c : candidates_[index_of(tx.sender)]) {
-        if (down_[c.rx_index] != 0) continue;  // crashed receiver hears nothing
-        if (any_listening_) {  // avoid the DeviceEntry load when no gates exist
-          const DeviceEntry& rx = devices_[c.rx_index];
-          if (rx.listening && !rx.listening()) continue;  // duty-cycled, asleep
+void RadioMedium::deliver_batched() {
+  // All delivery gates are static this slot (no faults, no duty cycling, no
+  // crashed devices), so every candidate draws exactly one fade: one batched
+  // RNG fill per sender, then a branch-free compare sweep over the skip
+  // bounds.  The uniform sequence and the survivor set match the scalar
+  // path draw for draw — deliver_memoised_scalar() is the reference.
+  for (const PendingTx& tx : flushing_) {
+    const std::size_t s = index_of(tx.sender);
+    const std::size_t begin = cand_offsets_[s];
+    const std::size_t m = cand_offsets_[s + 1] - begin;
+    if (m == 0) continue;
+    if (fade_u_.size() < m) {
+      fade_u_.resize(m);
+      survivors_.resize(m);
+    }
+    channel_->fill_fading_uniforms(fade_u_.data(), m);
+    const double* skip_u = cand_skip_u_.data() + begin;
+    std::size_t count = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      survivors_[count] = static_cast<std::uint32_t>(k);
+      count += static_cast<std::size_t>(fade_u_[k] < skip_u[k]);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t k = survivors_[i];
+      const double gain = channel_->fading().gain_from_uniform(fade_u_[k]);
+      const util::Dbm power =
+          util::Dbm{cand_mean_[begin + k]} - phy::FadingModel::loss_from_gain(gain);
+      if (!channel_->detectable(power)) continue;  // borderline fade: exact compare
+      const std::uint32_t rxi = cand_rx_[begin + k];
+      if (buckets_[rxi].empty()) touched_.push_back(rxi);
+      buckets_[rxi].push_back(Audible{&tx, power});
+    }
+  }
+}
+
+void RadioMedium::deliver_memoised_scalar() {
+  // Memoised fast path: the candidate's mean power replaces the per-pair
+  // path-loss + shadowing recomputation, and most sub-threshold fades are
+  // rejected on the raw uniform (or linear gain) alone.  Gate order and the
+  // fading-stream consumption mirror add_audible exactly, so the delivered
+  // receptions are bit-identical to the dense path's.
+  for (const PendingTx& tx : flushing_) {
+    const std::size_t s = index_of(tx.sender);
+    for (std::size_t k = cand_offsets_[s]; k < cand_offsets_[s + 1]; ++k) {
+      const std::uint32_t rxi = cand_rx_[k];
+      if (down_[rxi] != 0) continue;  // crashed receiver hears nothing
+      if (any_listening_) {  // avoid the DeviceEntry load when no gates exist
+        const DeviceEntry& rx = devices_[rxi];
+        if (rx.listening && !rx.listening()) continue;  // duty-cycled, asleep
+      }
+      double gain;
+      if (uniform_skip_) {
+        // Raw-uniform shortcut: same single generator step, but the
+        // provably sub-threshold draws never pay the gain transform.
+        const double u = channel_->sample_fading_uniform();
+        if (!fault_ && u >= cand_skip_u_[k]) continue;
+        gain = channel_->fading().gain_from_uniform(u);
+      } else {
+        gain = channel_->sample_fading_gain();
+        if (!fault_ && gain < cand_skip_gain_[k]) continue;  // provably sub-threshold
+      }
+      util::Dbm power = util::Dbm{cand_mean_[k]} - phy::FadingModel::loss_from_gain(gain);
+      if (fault_) {
+        const std::optional<util::Dbm> adjusted =
+            fault_(tx.sender, devices_[rxi].id, tx.type, power);
+        if (!adjusted.has_value()) {
+          ++counters_.fault_drops;
+          continue;
         }
-        double gain;
-        if (uniform_skip_) {
-          // Raw-uniform shortcut: same single generator step, but the
-          // provably sub-threshold draws never pay the gain transform.
-          const double u = channel_->sample_fading_uniform();
-          if (!fault_ && u >= c.skip_u) continue;
-          gain = channel_->fading().gain_from_uniform(u);
-        } else {
-          gain = channel_->sample_fading_gain();
-          if (!fault_ && gain < c.skip_gain) continue;  // provably sub-threshold
+        power = *adjusted;
+      }
+      if (!channel_->detectable(power)) continue;
+      if (buckets_[rxi].empty()) touched_.push_back(rxi);
+      buckets_[rxi].push_back(Audible{&tx, power});
+    }
+  }
+}
+
+void RadioMedium::resolve_receivers() {
+  // Resolve same-resource collisions per receiver with the capture rule.
+  const double noise_mw = channel_->params().noise_floor.milliwatts();
+  const std::size_t nbuckets = touched_.size();
+  // Warn the receiver one bucket ahead: the hook prefetches the neighbour
+  // table slots the protocol is about to probe, so the DRAM miss overlaps
+  // the current bucket's decode work instead of stalling update_neighbor.
+  const auto issue_prefetch = [this](std::size_t t) {
+    const auto& audible = buckets_[touched_[t]];
+    prefetch_ids_.clear();
+    for (const Audible& a : audible) prefetch_ids_.push_back(a.tx->sender);
+    prefetch_(devices_[touched_[t]].id, prefetch_ids_.data(), prefetch_ids_.size());
+  };
+  if (prefetch_ && nbuckets > 0) issue_prefetch(0);
+  for (std::size_t t = 0; t < nbuckets; ++t) {
+    if (prefetch_ && t + 1 < nbuckets) issue_prefetch(t + 1);
+    const std::size_t rx_index = touched_[t];
+    auto& audible = buckets_[rx_index];
+    const DeviceEntry& rx = devices_[rx_index];
+    const std::size_t k = audible.size();
+    bool grouped = false;
+    if (k > 1) {
+      // Contention prepass: chain the bucket's entries per RACH resource in
+      // one O(k) epoch-marked pass (no clearing between buckets), and
+      // convert contended entries to milliwatts exactly once.  The
+      // interference sum then walks only an entry's own chain — in entry
+      // order, so it adds the same doubles in the same order as the naive
+      // all-pairs scan, which re-evaluated pow(10, dBm/10) per (a, b) pair.
+      grouped = true;
+      res_key_.resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        const Preamble p = audible[i].tx->preamble;
+        if (p.index >= kPreamblePoolSize ||
+            static_cast<std::uint32_t>(p.codec) >= kResourceCodecs) {
+          grouped = false;  // out-of-pool resource (tests): generic fallback
+          break;
         }
-        util::Dbm power = util::Dbm{c.mean_dbm} - phy::FadingModel::loss_from_gain(gain);
-        if (fault_) {
-          const std::optional<util::Dbm> adjusted =
-              fault_(tx.sender, devices_[c.rx_index].id, tx.type, power);
-          if (!adjusted.has_value()) {
-            ++counters_.fault_drops;
-            continue;
+        res_key_[i] = static_cast<std::uint32_t>(p.codec) * kPreamblePoolSize + p.index;
+      }
+      if (grouped) {
+        ++group_epoch_;
+        group_next_.resize(k);
+        aud_mw_.resize(k);
+        for (std::size_t i = 0; i < k; ++i) {
+          const std::uint32_t key = res_key_[i];
+          group_next_[i] = kGroupNil;
+          if (group_seen_[key] != group_epoch_) {
+            group_seen_[key] = group_epoch_;
+            group_head_[key] = static_cast<std::uint32_t>(i);
+            group_count_[key] = 1;
+          } else {
+            group_next_[group_tail_[key]] = static_cast<std::uint32_t>(i);
+            ++group_count_[key];
           }
-          power = *adjusted;
+          group_tail_[key] = static_cast<std::uint32_t>(i);
         }
-        if (!channel_->detectable(power)) continue;
-        if (buckets[c.rx_index].empty()) touched.push_back(c.rx_index);
-        buckets[c.rx_index].push_back(Audible{&tx, power});
+        for (std::size_t i = 0; i < k; ++i) {
+          aud_mw_[i] =
+              group_count_[res_key_[i]] > 1 ? audible[i].power.milliwatts() : 0.0;
+        }
+      } else {
+        res_key_.resize(k);
+        aud_mw_.resize(k);
+        for (std::size_t i = 0; i < k; ++i) {
+          const Preamble p = audible[i].tx->preamble;
+          res_key_[i] = (static_cast<std::uint64_t>(p.codec) << 32) | p.index;
+        }
+        for (std::size_t i = 0; i < k; ++i) {
+          bool contended = false;
+          for (std::size_t j = 0; j < k; ++j) {
+            contended = contended || (j != i && res_key_[j] == res_key_[i]);
+          }
+          aud_mw_[i] = contended ? audible[i].power.milliwatts() : 0.0;
+        }
       }
     }
-  } else if (cache_valid_) {
-    for (const PendingTx& tx : batch) {
-      for (const Candidate& c : candidates_[index_of(tx.sender)]) {
-        add_audible(c.rx_index, tx);
-      }
-    }
-  } else {
-    for (const PendingTx& tx : batch) {
-      for (std::size_t rx_index = 0; rx_index < devices_.size(); ++rx_index) {
-        add_audible(rx_index, tx);
-      }
-    }
-  }
-
-  for (const std::size_t rx_index : touched) {
-    auto& audible = buckets[rx_index];
-    const DeviceEntry& rx = devices_[rx_index];
-    const double noise_mw = channel_->params().noise_floor.milliwatts();
-    for (const Audible& a : audible) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const Audible& a = audible[i];
       double interference_mw = 0.0;
-      for (const Audible& b : audible) {
-        if (&a == &b) continue;
-        if (same_resource(a.tx->preamble, b.tx->preamble)) {
-          interference_mw += b.power.milliwatts();
+      if (k > 1) {
+        if (grouped) {
+          if (group_count_[res_key_[i]] > 1) {
+            for (std::uint32_t j = group_head_[res_key_[i]]; j != kGroupNil;
+                 j = group_next_[j]) {
+              if (j != i) interference_mw += aud_mw_[j];
+            }
+          }
+        } else {
+          for (std::size_t j = 0; j < k; ++j) {
+            if (j != i && res_key_[j] == res_key_[i]) interference_mw += aud_mw_[j];
+          }
         }
       }
       bool decoded = true;
@@ -285,6 +411,51 @@ void RadioMedium::flush_slot() {
     }
     audible.clear();
   }
+}
+
+void RadioMedium::flush_slot() {
+  flush_scheduled_ = false;
+  // Double buffer: swap the pending list into the flushing list (both keep
+  // their capacity), so steady-state slot delivery never allocates.
+  flushing_.clear();
+  flushing_.swap(pending_);
+  if (flushing_.empty()) return;
+  const obs::ScopedTimer span(telemetry_, obs::SpanId::kSlotDelivery,
+                              telemetry_ != nullptr ? sim_->now().as_milliseconds() : -1.0);
+  if (telemetry_ != nullptr) {
+    telemetry_->observe("radio.slot_batch", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024},
+                        static_cast<double>(flushing_.size()));
+  }
+
+  if (buckets_.size() < devices_.size()) buckets_.resize(devices_.size());
+  touched_.clear();
+
+  // Pick the cheapest delivery sweep whose gates hold.  The batched sweep
+  // requires every per-candidate gate to be statically off; any crashed
+  // device, duty-cycle gate or fault hook falls back to the scalar sweep,
+  // which evaluates the gates per candidate in the original order.
+  const bool batched = cache_valid_ && grid_delivery_ && uniform_skip_ &&
+                       !fault_ && !any_listening_ && down_count_ == 0;
+  if (batched) {
+    deliver_batched();
+  } else if (cache_valid_ && grid_delivery_) {
+    deliver_memoised_scalar();
+  } else if (cache_valid_) {
+    for (const PendingTx& tx : flushing_) {
+      const std::size_t s = index_of(tx.sender);
+      for (std::size_t k = cand_offsets_[s]; k < cand_offsets_[s + 1]; ++k) {
+        add_audible(cand_rx_[k], tx);
+      }
+    }
+  } else {
+    for (const PendingTx& tx : flushing_) {
+      for (std::size_t rx_index = 0; rx_index < devices_.size(); ++rx_index) {
+        add_audible(rx_index, tx);
+      }
+    }
+  }
+
+  resolve_receivers();
 }
 
 }  // namespace firefly::mac

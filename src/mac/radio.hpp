@@ -62,6 +62,13 @@ class RadioMedium {
   /// receivers normally.
   using FaultFn = std::function<std::optional<util::Dbm>(
       std::uint32_t sender, std::uint32_t receiver, PsType type, util::Dbm power)>;
+  /// Delivery prefetch hint: called once per receiver bucket, one bucket
+  /// *ahead* of its deliveries, with the sender ids about to be decoded.
+  /// The owner can warm whatever per-(rx, sender) state its receive
+  /// callback touches (the engine prefetches neighbour-table slots); the
+  /// hook must not mutate protocol state.
+  using PrefetchFn = std::function<void(std::uint32_t rx_id, const std::uint32_t* senders,
+                                        std::size_t count)>;
 
   /// `capture_margin_db`: a same-resource reception is decoded anyway when
   /// its power exceeds the *sum* of the interferers by this margin.
@@ -85,26 +92,24 @@ class RadioMedium {
   /// Install the channel-fault hook (null = fault-free delivery).
   void set_fault_hook(FaultFn fn) { fault_ = std::move(fn); }
 
+  /// Install the delivery prefetch hint (null = no hints).  Purely a cache
+  /// warmer: installing or removing it never changes delivery results.
+  void set_delivery_prefetch(PrefetchFn fn) { prefetch_ = std::move(fn); }
+
   /// Queue a broadcast for the slot containing now(); it is delivered to
   /// every in-range receiver at the next slot boundary.
   void broadcast(std::uint32_t sender, Preamble preamble, PsType type, std::uint64_t payload);
-
-  /// One memoised delivery candidate: a receiver whose slot-averaged power
-  /// from the paired sender is within the fading margin of detectability.
-  struct Candidate {
-    std::size_t rx_index;  ///< devices_ slot of the receiver
-    double mean_dbm;       ///< memoised mean received power (symmetric per pair)
-    double skip_gain;      ///< fading gains below this provably stay sub-threshold
-    double skip_u;         ///< uniform draws at/above this provably stay sub-threshold
-  };
 
   /// Rebuild the candidate cache: for every device, the receivers whose
   /// slot-averaged power is within `fading_margin_db` of being detectable,
   /// with that mean memoised so delivery never recomputes path loss or
   /// shadowing.  Enumeration is grid-indexed (O(N·k) cell queries keyed by
   /// the channel's max detectable range) or dense O(N²) per
-  /// `RadioParams::spatial_index`; both produce identical caches.  Call
-  /// after registering devices and after `invalidate`.
+  /// `RadioParams::spatial_index`; both produce identical caches.  The cache
+  /// is stored structure-of-arrays (one flat `ids`/`mean`/`skip` array per
+  /// field, prefix-offset indexed per sender) so a slot flush sweeps
+  /// contiguous memory.  Call after registering devices and after
+  /// `invalidate`.
   void rebuild(double fading_margin_db = phy::RadioParams::kCandidateFadingMarginDb);
   /// Mark the candidate cache stale.  Delivery falls back to a dense
   /// per-slot scan until the next `rebuild` (`add_device` and `move_device`
@@ -119,10 +124,10 @@ class RadioMedium {
   template <typename Fn>
   void for_each_candidate_pair(Fn&& fn) const {
     assert(cache_valid_);
-    for (std::size_t u = 0; u < candidates_.size(); ++u) {
-      for (const Candidate& c : candidates_[u]) {
-        if (c.rx_index <= u) continue;
-        fn(devices_[u].id, devices_[c.rx_index].id, util::Dbm{c.mean_dbm});
+    for (std::size_t u = 0; u + 1 < cand_offsets_.size(); ++u) {
+      for (std::size_t k = cand_offsets_[u]; k < cand_offsets_[u + 1]; ++k) {
+        if (cand_rx_[k] <= u) continue;
+        fn(devices_[u].id, devices_[cand_rx_[k]].id, util::Dbm{cand_mean_[k]});
       }
     }
   }
@@ -158,11 +163,29 @@ class RadioMedium {
     std::uint64_t payload;
     sim::SimTime slot_start;
   };
+  /// A transmission audible at one receiver, pre-collision-resolution.
+  struct Audible {
+    const PendingTx* tx;
+    util::Dbm power;
+  };
+  /// One admitted candidate pair, staged during rebuild before the scatter
+  /// into the flat per-sender arrays.
+  struct PairRec {
+    std::uint32_t u, v;
+    double mean_dbm;
+    double skip_gain;
+    double skip_u;
+  };
 
   void ensure_flush_scheduled();
   void flush_slot();
   [[nodiscard]] std::size_t index_of(std::uint32_t id) const;
   void admit_candidate(std::size_t u, std::size_t v, util::Dbm mean, util::Dbm cutoff);
+  void scatter_candidates();
+  void deliver_batched();
+  void deliver_memoised_scalar();
+  void add_audible(std::size_t rx_index, const PendingTx& tx);
+  void resolve_receivers();
 
   sim::Simulator* sim_;
   phy::Channel* channel_;
@@ -170,17 +193,48 @@ class RadioMedium {
   std::vector<DeviceEntry> devices_;
   std::vector<std::size_t> id_to_index_;  // device id -> devices_ slot
   std::vector<std::uint8_t> down_;        // by device index; 1 = crashed
+  std::size_t down_count_ = 0;            // crashed devices (gates the batched path)
   FaultFn fault_;
   bool any_listening_ = false;  // duty-cycle gates exist: fast path must probe them
   std::vector<PendingTx> pending_;
+  std::vector<PendingTx> flushing_;  // double buffer: swap per flush, no allocation
   bool flush_scheduled_ = false;
   TrafficCounters counters_;
   phy::EnergyMeter* energy_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
-  // candidates_[index_of(sender)] = receivers possibly in range, with the
-  // pair's mean power memoised (ascending rx_index; identical for grid and
-  // dense enumeration).
-  std::vector<std::vector<Candidate>> candidates_;
+  // Candidate cache, structure-of-arrays: sender u's candidates occupy flat
+  // slots [cand_offsets_[u], cand_offsets_[u+1]), ascending rx index —
+  // identical order for grid and dense enumeration, which pins the fading
+  // stream.  Parallel arrays so the delivery sweep reads each field
+  // contiguously.
+  std::vector<std::size_t> cand_offsets_;   // n+1 prefix offsets
+  std::vector<std::uint32_t> cand_rx_;      // receiver device index
+  std::vector<double> cand_mean_;           // memoised mean received power, dBm
+  std::vector<double> cand_skip_gain_;      // fades below this are sub-threshold
+  std::vector<double> cand_skip_u_;         // uniforms at/above this are sub-threshold
+  std::vector<PairRec> pair_scratch_;       // rebuild staging (reused)
+  std::vector<std::size_t> cand_cursor_;    // rebuild scatter cursors (reused)
+  std::vector<double> fade_u_;              // per-flush batched uniform draws
+  std::vector<std::uint32_t> survivors_;    // per-flush skip-test survivors
+  std::vector<std::vector<Audible>> buckets_;  // per-receiver audible sets
+  std::vector<std::size_t> touched_;           // receivers with non-empty buckets
+  PrefetchFn prefetch_;                        // per-bucket cache-warming hint
+  std::vector<std::uint32_t> prefetch_ids_;    // sender ids handed to the hint
+  std::vector<std::uint64_t> res_key_;         // per-bucket packed resource keys
+  std::vector<double> aud_mw_;                 // per-bucket memoised milliwatts
+  // Epoch-marked per-resource chains for the collision prepass: one slot per
+  // (codec, preamble) pool entry, valid only while its epoch tag matches —
+  // no clearing between buckets.
+  static constexpr std::uint32_t kResourceCodecs = 2;
+  static constexpr std::uint32_t kGroupNil = 0xFFFFFFFFU;
+  static constexpr std::size_t kResourceSlots =
+      static_cast<std::size_t>(kResourceCodecs) * kPreamblePoolSize;
+  std::uint64_t group_epoch_ = 0;
+  std::uint64_t group_seen_[kResourceSlots] = {};
+  std::uint32_t group_head_[kResourceSlots] = {};
+  std::uint32_t group_tail_[kResourceSlots] = {};
+  std::uint32_t group_count_[kResourceSlots] = {};
+  std::vector<std::uint32_t> group_next_;      // per-bucket chain links
   bool cache_valid_ = false;
   bool uniform_skip_ = false;  // fading model offers the u-space skip test
   geo::SpatialGrid grid_;

@@ -93,6 +93,14 @@ class Channel {
   /// transform.
   [[nodiscard]] double sample_fading_uniform() { return fading_rng_.unit_open(); }
 
+  /// Batched form of `sample_fading_uniform`: fills `out[0..n)` with the
+  /// exact sequence n scalar calls would produce (same stream, same order),
+  /// so the radio's vectorised delivery sweep stays bit-identical to the
+  /// per-candidate path.
+  void fill_fading_uniforms(double* out, std::size_t n) {
+    fading_rng_.fill_unit_open(out, n);
+  }
+
   [[nodiscard]] bool detectable(util::Dbm rx) const {
     return rx >= params_.detection_threshold;
   }

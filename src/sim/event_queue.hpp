@@ -1,22 +1,38 @@
-// event_queue.hpp — deterministic pending-event set.
+// event_queue.hpp — deterministic pending-event set (heap reference).
 //
 // A binary min-heap keyed on (time, sequence number).  The monotone sequence
 // number gives FIFO semantics for simultaneous events, which is what makes
 // two identically seeded runs process events in the same order.  Events can
 // be cancelled in O(1) by id (lazy deletion at pop).
+//
+// This is the reference implementation behind `SchedulerKind::kHeap`; the
+// production scheduler is the slot calendar (slot_calendar.hpp), which
+// processes events in exactly the same (time, seq) total order.  Callbacks
+// are stored inline (`util::InplaceFunction`) so neither scheduler touches
+// the heap per schedule().
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/inplace_function.hpp"
 
 namespace firefly::sim {
 
 using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+/// Event callback with inline (small-buffer) capture storage.  48 bytes
+/// covers every closure the engines schedule; larger captures fail to
+/// compile rather than silently allocating.
+using EventFn = util::InplaceFunction<void(), 48>;
+
+/// A popped event, common to both scheduler implementations.
+struct FiredEvent {
+  SimTime time;
+  EventId id;
+  EventFn fn;
+};
 
 class EventQueue {
  public:

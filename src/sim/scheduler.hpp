@@ -1,0 +1,33 @@
+// scheduler.hpp — pending-event-set selector.
+//
+// The simulator offers two interchangeable schedulers with bit-identical
+// event ordering (total order on (time, sequence number)):
+//   * kWheel — the hierarchical slot calendar (slot_calendar.hpp): O(1)
+//     schedule/cancel, arena-backed records, no allocation on the hot path.
+//     The production default.
+//   * kHeap  — the binary-heap EventQueue (event_queue.hpp): the simple
+//     reference implementation the equivalence tests compare against.
+#pragma once
+
+#include <string_view>
+
+namespace firefly::sim {
+
+enum class SchedulerKind {
+  kWheel,  ///< hierarchical slot calendar (production)
+  kHeap,   ///< binary min-heap (reference baseline)
+};
+
+[[nodiscard]] constexpr const char* to_string(SchedulerKind kind) {
+  return kind == SchedulerKind::kWheel ? "wheel" : "heap";
+}
+
+/// Parse "wheel"/"heap"; anything else returns `fallback`.
+[[nodiscard]] constexpr SchedulerKind scheduler_from_string(
+    std::string_view name, SchedulerKind fallback = SchedulerKind::kWheel) {
+  if (name == "wheel") return SchedulerKind::kWheel;
+  if (name == "heap") return SchedulerKind::kHeap;
+  return fallback;
+}
+
+}  // namespace firefly::sim

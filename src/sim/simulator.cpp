@@ -1,7 +1,6 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
-#include <memory>
 #include <sstream>
 
 namespace firefly::sim {
@@ -12,16 +11,28 @@ struct Simulator::PeriodicHandle::State {
   EventFn fn;
   EventId pending = 0;
   bool cancelled = false;
+
+  // Fires one occurrence, then re-arms.  The State outlives every pending
+  // occurrence (it is owned by the Simulator and freed in its destructor),
+  // so scheduled closures capture just this raw pointer — 8 bytes, no
+  // shared_ptr control block per timer.
+  void run() {
+    if (cancelled) return;
+    fn();
+    if (cancelled) return;
+    pending = sim->schedule_in(period, [this] { run(); });
+  }
 };
 
 EventId Simulator::schedule_at(SimTime at, EventFn fn) {
   assert(at >= now_);
-  return queue_.schedule(at, std::move(fn));
+  return kind_ == SchedulerKind::kWheel ? wheel_.schedule(at, std::move(fn))
+                                        : heap_.schedule(at, std::move(fn));
 }
 
 EventId Simulator::schedule_in(SimTime delay, EventFn fn) {
   assert(delay.us >= 0);
-  return queue_.schedule(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn));
 }
 
 void Simulator::PeriodicHandle::cancel() {
@@ -35,16 +46,7 @@ Simulator::PeriodicHandle Simulator::schedule_periodic(SimTime phase, SimTime pe
   assert(period.us > 0);
   auto* state = new PeriodicHandle::State{this, period, std::move(fn), 0, false};
   periodic_states_.push_back(state);
-
-  // Self-rescheduling closure: fires, then re-arms unless cancelled.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [state, tick]() {
-    if (state->cancelled) return;
-    state->fn();
-    if (state->cancelled) return;
-    state->pending = state->sim->schedule_in(state->period, [tick] { (*tick)(); });
-  };
-  state->pending = schedule_in(phase, [tick] { (*tick)(); });
+  state->pending = schedule_in(phase, [state] { state->run(); });
 
   PeriodicHandle handle;
   handle.state_ = state;
@@ -54,17 +56,30 @@ Simulator::PeriodicHandle Simulator::schedule_periodic(SimTime phase, SimTime pe
 
 SimTime Simulator::run_until(SimTime deadline) {
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    if (queue_.next_time() > deadline) {
-      now_ = deadline;
-      return now_;
+  if (kind_ == SchedulerKind::kWheel) {
+    while (!wheel_.empty() && !stop_requested_) {
+      if (wheel_.next_time() > deadline) {
+        now_ = deadline;
+        return now_;
+      }
+      auto fired = wheel_.pop();
+      now_ = fired.time;
+      ++events_processed_;
+      fired.fn();
     }
-    auto fired = queue_.pop();
-    now_ = fired.time;
-    ++events_processed_;
-    fired.fn();
+  } else {
+    while (!heap_.empty() && !stop_requested_) {
+      if (heap_.next_time() > deadline) {
+        now_ = deadline;
+        return now_;
+      }
+      auto fired = heap_.pop();
+      now_ = fired.time;
+      ++events_processed_;
+      fired.fn();
+    }
   }
-  if (queue_.empty() && now_ < deadline && deadline != SimTime::max()) now_ = deadline;
+  if (queue_empty() && now_ < deadline && deadline != SimTime::max()) now_ = deadline;
   return now_;
 }
 

@@ -1,23 +1,34 @@
 // simulator.hpp — the discrete-event scheduler.
 //
-// A single-threaded event loop over `EventQueue`.  Protocol entities
+// A single-threaded event loop over a pending-event set.  Protocol entities
 // schedule callbacks in the future (`schedule_in`/`schedule_at`), install
 // periodic timers, and the loop advances the clock from event to event.
 // `run_until` bounds a run; convergence detectors call `stop()` to end it
 // early.  One Simulator per Monte-Carlo trial; trials parallelise across a
 // thread pool with no shared state.
+//
+// Two interchangeable pending-event sets back the loop (sim/scheduler.hpp):
+// the slot calendar (`kWheel`, default, allocation-free hot path) and the
+// binary-heap reference (`kHeap`).  Both process events in the identical
+// (time, sequence) total order, so a trial's results are bit-identical
+// either way — `test_scheduler_equivalence` enforces this.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/slot_calendar.hpp"
 #include "sim/time.hpp"
 
 namespace firefly::sim {
 
 class Simulator {
  public:
+  explicit Simulator(SchedulerKind kind = SchedulerKind::kWheel) : kind_(kind) {}
+
+  [[nodiscard]] SchedulerKind scheduler() const { return kind_; }
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
 
@@ -26,7 +37,9 @@ class Simulator {
   /// Schedule `delay` after now().
   EventId schedule_in(SimTime delay, EventFn fn);
   /// Cancel a pending event; false if already fired/cancelled.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) {
+    return kind_ == SchedulerKind::kWheel ? wheel_.cancel(id) : heap_.cancel(id);
+  }
 
   /// Install a periodic timer with the given period, first firing at
   /// now() + phase.  Returns the id of the *current* pending occurrence via
@@ -57,7 +70,16 @@ class Simulator {
   ~Simulator();
 
  private:
-  EventQueue queue_;
+  [[nodiscard]] bool queue_empty() const {
+    return kind_ == SchedulerKind::kWheel ? wheel_.empty() : heap_.empty();
+  }
+  [[nodiscard]] SimTime queue_next_time() const {
+    return kind_ == SchedulerKind::kWheel ? wheel_.next_time() : heap_.next_time();
+  }
+
+  SchedulerKind kind_ = SchedulerKind::kWheel;
+  SlotCalendar wheel_;
+  EventQueue heap_;
   SimTime now_ = SimTime::zero();
   std::uint64_t events_processed_ = 0;
   bool stop_requested_ = false;

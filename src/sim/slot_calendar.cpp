@@ -1,0 +1,304 @@
+#include "sim/slot_calendar.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace firefly::sim {
+
+namespace {
+constexpr std::uint64_t kGenMask = 0xFFFFFFFFull;
+}
+
+EventId SlotCalendar::schedule(SimTime at, EventFn fn) {
+  assert(at.us >= 0 && "events must not be scheduled before t=0");
+  const auto idx = arena_.allocate();
+  Rec& r = arena_[idx];
+  r.time = at;
+  r.seq = next_seq_++;
+  r.next = kNil;
+  r.state = State::kLive;
+  r.fn = std::move(fn);
+  ++live_count_;
+
+  const std::int64_t slot = slot_of(at);
+  if (slot < cur_slot_) {
+    // The cursor peeked past this slot: run_until() stopping short of the
+    // next event advances next_time()'s cursor beyond now(), and a later
+    // schedule can land in the gap.  Retreat and rebuild (rare).
+    cur_slot_ = slot;
+    rebuild();
+    place(idx);
+  } else if (slot == cur_slot_ && ready_active_) {
+    // The current slot is draining through the ready_ heap; divert new
+    // same-slot arrivals there so ordering stays exact.
+    ready_push(idx);
+    ++residents_[kL0];
+  } else {
+    place(idx);
+  }
+  return ((static_cast<std::uint64_t>(idx) + 1) << 32) | r.gen;
+}
+
+bool SlotCalendar::cancel(EventId id) {
+  const std::uint64_t hi = id >> 32;
+  if (hi == 0 || !arena_.in_range(hi - 1)) return false;
+  const auto idx = static_cast<std::uint32_t>(hi - 1);
+  Rec& r = arena_[idx];
+  if (r.state != State::kLive || r.gen != (id & kGenMask)) return false;
+  r.state = State::kCancelled;
+  r.fn = nullptr;  // drop capture resources eagerly; the record is pruned lazily
+  assert(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+SimTime SlotCalendar::next_time() const {
+  // peek() prunes cancelled records and advances the cursor, which mutates
+  // book-keeping but never the observable event order.
+  auto* self = const_cast<SlotCalendar*>(this);
+  const std::uint32_t idx = self->peek();
+  return idx == kNil ? SimTime::max() : self->arena_[idx].time;
+}
+
+FiredEvent SlotCalendar::pop() {
+  const std::uint32_t idx = peek();
+  assert(idx != kNil && "pop() on empty calendar");
+  Rec& r = arena_[idx];
+  FiredEvent out{r.time, ((static_cast<std::uint64_t>(idx) + 1) << 32) | r.gen,
+                 std::move(r.fn)};
+  if (ready_active_) {
+    [[maybe_unused]] const std::uint32_t popped = ready_pop();
+    assert(popped == idx);
+    assert(residents_[kL0] > 0);
+    --residents_[kL0];
+  } else {
+    Bucket& b = l0_[static_cast<std::size_t>(cur_slot_) & (kBuckets - 1)];
+    [[maybe_unused]] const std::uint32_t popped = unlink_head(b, kL0);
+    assert(popped == idx);
+  }
+  assert(live_count_ > 0);
+  --live_count_;
+  free_rec(idx);
+  return out;
+}
+
+void SlotCalendar::append(Bucket& b, std::uint32_t idx, Region region) {
+  Rec& r = arena_[idx];
+  r.next = kNil;
+  if (b.head == kNil) {
+    b.head = b.tail = idx;
+    b.sorted = true;
+  } else {
+    if (arena_[b.tail].time > r.time) b.sorted = false;
+    arena_[b.tail].next = idx;
+    b.tail = idx;
+  }
+  ++residents_[region];
+}
+
+std::uint32_t SlotCalendar::unlink_head(Bucket& b, Region region) {
+  const std::uint32_t idx = b.head;
+  assert(idx != kNil);
+  b.head = arena_[idx].next;
+  if (b.head == kNil) {
+    b.tail = kNil;
+    b.sorted = true;
+  }
+  assert(residents_[region] > 0);
+  --residents_[region];
+  return idx;
+}
+
+void SlotCalendar::place(std::uint32_t idx) {
+  const std::int64_t slot = slot_of(arena_[idx].time);
+  assert(slot >= cur_slot_);
+  if ((slot >> 8) == (cur_slot_ >> 8)) {
+    append(l0_[static_cast<std::size_t>(slot) & (kBuckets - 1)], idx, kL0);
+  } else if ((slot >> 16) == (cur_slot_ >> 16)) {
+    append(l1_[static_cast<std::size_t>(slot >> 8) & (kBuckets - 1)], idx, kL1);
+  } else if ((slot >> 24) == (cur_slot_ >> 24)) {
+    append(l2_[static_cast<std::size_t>(slot >> 16) & (kBuckets - 1)], idx, kL2);
+  } else {
+    append(far_, idx, kFar);
+  }
+}
+
+void SlotCalendar::cascade(Bucket& b, Region region) {
+  // Walking in list order preserves sequence order; the level-0 buckets a
+  // page crossing cascades into are empty (the previous page fully drained),
+  // so per-bucket FIFO order remains sequence order.
+  std::uint32_t idx = b.head;
+  b.head = b.tail = kNil;
+  b.sorted = true;
+  while (idx != kNil) {
+    const std::uint32_t next = arena_[idx].next;
+    assert(residents_[region] > 0);
+    --residents_[region];
+    if (arena_[idx].state == State::kCancelled) {
+      free_rec(idx);
+    } else {
+      place(idx);
+    }
+    idx = next;
+  }
+}
+
+void SlotCalendar::free_rec(std::uint32_t idx) {
+  Rec& r = arena_[idx];
+  r.state = State::kFree;
+  ++r.gen;  // invalidate outstanding ids for this slot
+  r.fn = nullptr;
+  arena_.release(idx);
+}
+
+void SlotCalendar::rebuild() {
+  // Gather every live record, restore global sequence order, and re-place
+  // relative to the (possibly moved) cursor.  Only two rare paths need this:
+  // cursor retreat after a peek overshoot, and far-horizon (2^24 slot)
+  // crossings, where merged lists would lose relative sequence order.
+  std::vector<std::uint32_t> live;
+  live.reserve(live_count_);
+  auto gather = [&](Bucket& b) {
+    std::uint32_t idx = b.head;
+    b.head = b.tail = kNil;
+    b.sorted = true;
+    while (idx != kNil) {
+      const std::uint32_t next = arena_[idx].next;
+      if (arena_[idx].state == State::kCancelled) {
+        free_rec(idx);
+      } else {
+        live.push_back(idx);
+      }
+      idx = next;
+    }
+  };
+  for (auto& b : l0_) gather(b);
+  for (auto& b : l1_) gather(b);
+  for (auto& b : l2_) gather(b);
+  gather(far_);
+  for (const std::uint32_t idx : ready_) {
+    if (arena_[idx].state == State::kCancelled) {
+      free_rec(idx);
+    } else {
+      live.push_back(idx);
+    }
+  }
+  ready_.clear();
+  ready_active_ = false;
+  residents_[kL0] = residents_[kL1] = residents_[kL2] = residents_[kFar] = 0;
+  std::sort(live.begin(), live.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return arena_[a].seq < arena_[b].seq;
+  });
+  for (const std::uint32_t idx : live) place(idx);
+}
+
+void SlotCalendar::advance_cursor() {
+  if (residents_[kL0] == 0 && residents_[kL1] == 0 && residents_[kL2] == 0) {
+    // Everything pending sits beyond the far horizon: jump straight there.
+    cur_slot_ = ((cur_slot_ >> 24) + 1) << 24;
+    rebuild();
+    return;
+  }
+  if (residents_[kL0] == 0 && residents_[kL1] == 0) {
+    cur_slot_ = ((cur_slot_ >> 16) + 1) << 16;  // next level-2 boundary
+  } else if (residents_[kL0] == 0) {
+    cur_slot_ = ((cur_slot_ >> 8) + 1) << 8;  // next level-1 boundary
+  } else {
+    ++cur_slot_;
+  }
+  if ((cur_slot_ & 0xFFFFFF) == 0) {
+    // Far-horizon crossing: far-list records merge with resident ones in
+    // arbitrary relative order, so rebuild from scratch.
+    rebuild();
+    return;
+  }
+  if ((cur_slot_ & 0xFFFF) == 0) {
+    cascade(l2_[static_cast<std::size_t>(cur_slot_ >> 16) & (kBuckets - 1)], kL2);
+  }
+  if ((cur_slot_ & 0xFF) == 0) {
+    cascade(l1_[static_cast<std::size_t>(cur_slot_ >> 8) & (kBuckets - 1)], kL1);
+  }
+}
+
+void SlotCalendar::spill_to_ready(Bucket& b) {
+  // Rare path: the bucket mixes intra-slot microsecond offsets out of append
+  // order, so FIFO drain would be wrong.  Move it into an explicit
+  // (time, seq) min-heap; later same-slot schedules push here too.
+  std::uint32_t idx = b.head;
+  b.head = b.tail = kNil;
+  b.sorted = true;
+  while (idx != kNil) {
+    const std::uint32_t next = arena_[idx].next;
+    if (arena_[idx].state == State::kCancelled) {
+      assert(residents_[kL0] > 0);
+      --residents_[kL0];
+      free_rec(idx);
+    } else {
+      ready_.push_back(idx);
+    }
+    idx = next;
+  }
+  std::make_heap(ready_.begin(), ready_.end(),
+                 [this](std::uint32_t a, std::uint32_t b2) {
+                   const Rec& ra = arena_[a];
+                   const Rec& rb = arena_[b2];
+                   if (ra.time != rb.time) return ra.time > rb.time;
+                   return ra.seq > rb.seq;
+                 });
+  ready_active_ = true;
+}
+
+std::uint32_t SlotCalendar::peek() {
+  if (live_count_ == 0) return kNil;
+  for (;;) {
+    if (ready_active_) {
+      while (!ready_.empty() &&
+             arena_[ready_.front()].state == State::kCancelled) {
+        const std::uint32_t idx = ready_pop();
+        assert(residents_[kL0] > 0);
+        --residents_[kL0];
+        free_rec(idx);
+      }
+      if (!ready_.empty()) return ready_.front();
+      ready_active_ = false;
+      advance_cursor();
+      continue;
+    }
+    Bucket& b = l0_[static_cast<std::size_t>(cur_slot_) & (kBuckets - 1)];
+    while (b.head != kNil && arena_[b.head].state == State::kCancelled) {
+      free_rec(unlink_head(b, kL0));
+    }
+    if (b.head != kNil) {
+      if (b.sorted) return b.head;
+      spill_to_ready(b);
+      continue;
+    }
+    advance_cursor();
+  }
+}
+
+void SlotCalendar::ready_push(std::uint32_t idx) {
+  ready_.push_back(idx);
+  std::push_heap(ready_.begin(), ready_.end(),
+                 [this](std::uint32_t a, std::uint32_t b) {
+                   const Rec& ra = arena_[a];
+                   const Rec& rb = arena_[b];
+                   if (ra.time != rb.time) return ra.time > rb.time;
+                   return ra.seq > rb.seq;
+                 });
+}
+
+std::uint32_t SlotCalendar::ready_pop() {
+  std::pop_heap(ready_.begin(), ready_.end(),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  const Rec& ra = arena_[a];
+                  const Rec& rb = arena_[b];
+                  if (ra.time != rb.time) return ra.time > rb.time;
+                  return ra.seq > rb.seq;
+                });
+  const std::uint32_t idx = ready_.back();
+  ready_.pop_back();
+  return idx;
+}
+
+}  // namespace firefly::sim

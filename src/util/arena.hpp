@@ -1,0 +1,76 @@
+// arena.hpp — chunked slab allocator with a freelist.
+//
+// Fixed-layout records (the slot calendar's event records) live in chunks of
+// 256 so addresses are stable, indices are dense 32-bit handles, and a
+// release/allocate cycle never touches the system heap after the first use
+// of a slot.  The arena does not run destructors on clear(); element types
+// must be reusable by assignment (the calendar re-initialises every field on
+// allocate).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace firefly::util {
+
+template <typename T>
+class SlabArena {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::size_t kChunkSize = 256;
+
+  /// Take a free slot (growing by one chunk when exhausted).  The slot's
+  /// object keeps whatever state it last had; the caller re-initialises.
+  [[nodiscard]] std::uint32_t allocate() {
+    if (free_head_ == kNil) grow();
+    const std::uint32_t idx = free_head_;
+    free_head_ = free_link_[idx];
+    ++live_;
+    return idx;
+  }
+
+  /// Return a slot to the freelist.  The object is not destroyed.
+  void release(std::uint32_t idx) {
+    assert(idx < free_link_.size());
+    free_link_[idx] = free_head_;
+    free_head_ = idx;
+    assert(live_ > 0);
+    --live_;
+  }
+
+  [[nodiscard]] T& operator[](std::uint32_t idx) {
+    assert(idx < capacity());
+    return chunks_[idx / kChunkSize][idx % kChunkSize];
+  }
+  [[nodiscard]] const T& operator[](std::uint32_t idx) const {
+    assert(idx < capacity());
+    return chunks_[idx / kChunkSize][idx % kChunkSize];
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return chunks_.size() * kChunkSize; }
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] bool in_range(std::uint64_t idx) const { return idx < capacity(); }
+
+ private:
+  void grow() {
+    const auto base = static_cast<std::uint32_t>(capacity());
+    chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    free_link_.resize(base + kChunkSize);
+    // Thread the new chunk onto the freelist in ascending order.
+    for (std::uint32_t i = 0; i < kChunkSize; ++i) {
+      free_link_[base + i] = base + i + 1;
+    }
+    free_link_[base + kChunkSize - 1] = free_head_;
+    free_head_ = base;
+  }
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<std::uint32_t> free_link_;  // per-slot next-free index
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_ = 0;
+};
+
+}  // namespace firefly::util

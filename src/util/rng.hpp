@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -75,6 +76,15 @@ class Rng {
   /// precomputed bound and only pay the log for survivors.
   double unit_open() {
     return (static_cast<double>(engine_.next() >> 11) + 0.5) * 0x1.0p-53;
+  }
+  /// Fill `out[0..n)` with the exact sequence n successive `unit_open()`
+  /// calls would produce.  The radio's batched delivery path uses this to
+  /// draw one fade per candidate in a single tight loop; keeping it
+  /// bit-equal to the scalar draw is what pins cross-path determinism.
+  void fill_unit_open(double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = (static_cast<double>(engine_.next() >> 11) + 0.5) * 0x1.0p-53;
+    }
   }
   /// Exponential with the given rate λ (> 0).  Inline: it is the Rayleigh
   /// power-gain draw, which delivery evaluation performs once per

@@ -61,6 +61,38 @@ TEST(Sweep, ParallelEqualsSequential) {
   }
 }
 
+TEST(Sweep, PoolSizeInvariance) {
+  // Stronger than ParallelEqualsSequential: since workers write per-trial
+  // slots and accumulation replays them in flat trial order, the resulting
+  // SweepPoints must be *exactly* equal for a serial run and any pool size —
+  // including the order of the retained per-trial values inside each Sample.
+  const SweepConfig config = tiny_sweep();
+  const auto serial = core::sweep(Protocol::kSt, config);
+  util::ThreadPool pool1(1);
+  const auto one_thread = core::sweep(Protocol::kSt, config, &pool1);
+  util::ThreadPool pool4(4);
+  const auto four_threads = core::sweep(Protocol::kSt, config, &pool4);
+
+  auto expect_exactly_equal = [](const std::vector<SweepPoint>& a,
+                                 const std::vector<SweepPoint>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].n, b[i].n);
+      EXPECT_EQ(a[i].trials, b[i].trials);
+      EXPECT_EQ(a[i].failure_rate, b[i].failure_rate);
+      EXPECT_EQ(a[i].convergence_ms.values(), b[i].convergence_ms.values());
+      EXPECT_EQ(a[i].total_messages.values(), b[i].total_messages.values());
+      EXPECT_EQ(a[i].rach1_messages.values(), b[i].rach1_messages.values());
+      EXPECT_EQ(a[i].rach2_messages.values(), b[i].rach2_messages.values());
+      EXPECT_EQ(a[i].collisions.values(), b[i].collisions.values());
+      EXPECT_EQ(a[i].neighbors_discovered.values(), b[i].neighbors_discovered.values());
+      EXPECT_EQ(a[i].ranging_error.values(), b[i].ranging_error.values());
+    }
+  };
+  expect_exactly_equal(serial, one_thread);
+  expect_exactly_equal(serial, four_threads);
+}
+
 TEST(Sweep, TrialsUseDistinctSeeds) {
   SweepConfig config = tiny_sweep();
   config.ns = {30};

@@ -1,0 +1,236 @@
+// Tests for the hierarchical slot-calendar scheduler (src/sim/slot_calendar.hpp).
+//
+// Mirrors test_event_queue.cpp (same observable semantics), adds calendar-
+// specific cases — page/level crossings, far-horizon overflow, cursor
+// retreat, intra-slot microsecond ordering — and ends with a differential
+// fuzz that drives the calendar and the heap reference with the identical
+// schedule/cancel sequence and asserts the pop streams match exactly.
+#include "sim/slot_calendar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using firefly::sim::EventId;
+using firefly::sim::EventQueue;
+using firefly::sim::SimTime;
+using firefly::sim::SlotCalendar;
+
+TEST(SlotCalendar, PopsInTimeOrder) {
+  SlotCalendar q;
+  std::vector<int> order;
+  q.schedule(SimTime::milliseconds(30), [&] { order.push_back(3); });
+  q.schedule(SimTime::milliseconds(10), [&] { order.push_back(1); });
+  q.schedule(SimTime::milliseconds(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SlotCalendar, FifoForSimultaneousEvents) {
+  SlotCalendar q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime::milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SlotCalendar, CancelPreventsExecution) {
+  SlotCalendar q;
+  bool ran = false;
+  const auto id = q.schedule(SimTime::milliseconds(1), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(SlotCalendar, CancelTwiceFails) {
+  SlotCalendar q;
+  const auto id = q.schedule(SimTime::milliseconds(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(SlotCalendar, CancelAfterFireFails) {
+  SlotCalendar q;
+  const auto id = q.schedule(SimTime::milliseconds(1), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(SlotCalendar, CancelInvalidIdFails) {
+  SlotCalendar q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(SlotCalendar, CancelStaleIdOfReusedSlotFails) {
+  SlotCalendar q;
+  const auto a = q.schedule(SimTime::milliseconds(1), [] {});
+  q.pop().fn();
+  // The arena reuses the record slot; its generation must have advanced.
+  const auto b = q.schedule(SimTime::milliseconds(2), [] {});
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(b));
+}
+
+TEST(SlotCalendar, NextTimeSkipsCancelled) {
+  SlotCalendar q;
+  const auto early = q.schedule(SimTime::milliseconds(1), [] {});
+  q.schedule(SimTime::milliseconds(5), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), SimTime::milliseconds(5));
+  EXPECT_EQ(q.size(), 1U);
+}
+
+TEST(SlotCalendar, NextTimeOnEmptyIsMax) {
+  SlotCalendar q;
+  EXPECT_EQ(q.next_time(), SimTime::max());
+}
+
+TEST(SlotCalendar, SizeTracksLiveEvents) {
+  SlotCalendar q;
+  const auto a = q.schedule(SimTime::milliseconds(1), [] {});
+  q.schedule(SimTime::milliseconds(2), [] {});
+  EXPECT_EQ(q.size(), 2U);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1U);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SlotCalendar, IntraSlotMicrosecondOffsetsOrderCorrectly) {
+  // Three events inside the same 1 ms slot, scheduled out of time order:
+  // the bucket must fall back to exact (time, seq) ordering.
+  SlotCalendar q;
+  std::vector<int> order;
+  q.schedule(SimTime::microseconds(5700), [&] { order.push_back(7); });
+  q.schedule(SimTime::microseconds(5200), [&] { order.push_back(2); });
+  q.schedule(SimTime::microseconds(5900), [&] { order.push_back(9); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{2, 7, 9}));
+}
+
+TEST(SlotCalendar, Level1PageCrossing) {
+  // Slots 100 and 300 straddle a 256-slot page boundary, so the second
+  // event starts in level 1 and cascades down when the cursor crosses.
+  SlotCalendar q;
+  std::vector<int> order;
+  q.schedule(SimTime::milliseconds(300), [&] { order.push_back(2); });
+  q.schedule(SimTime::milliseconds(100), [&] { order.push_back(1); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SlotCalendar, Level2AndFarHorizonCrossing) {
+  SlotCalendar q;
+  std::vector<int> order;
+  // Level 2 (beyond 2^16 slots) and far overflow (beyond 2^24 slots).
+  q.schedule(SimTime::milliseconds((1 << 24) + 7), [&] { order.push_back(3); });
+  q.schedule(SimTime::milliseconds((1 << 16) + 5), [&] { order.push_back(2); });
+  q.schedule(SimTime::milliseconds(1), [&] { order.push_back(1); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SlotCalendar, ScheduleBehindPeekedCursorRetreats) {
+  // next_time() advances the internal cursor to slot 100; scheduling into
+  // slot 10 afterwards must still pop first (cursor retreat + rebuild).
+  SlotCalendar q;
+  std::vector<int> order;
+  q.schedule(SimTime::milliseconds(100), [&] { order.push_back(2); });
+  EXPECT_EQ(q.next_time(), SimTime::milliseconds(100));
+  q.schedule(SimTime::milliseconds(10), [&] { order.push_back(1); });
+  EXPECT_EQ(q.next_time(), SimTime::milliseconds(10));
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SlotCalendar, StressRandomScheduleCancelKeepsOrder) {
+  SlotCalendar q;
+  firefly::util::Rng rng(77);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(q.schedule(SimTime::microseconds(
+                                 static_cast<std::int64_t>(rng.uniform_index(10000))),
+                             [] {}));
+  }
+  for (int i = 0; i < 500; ++i) {
+    q.cancel(ids[rng.uniform_index(ids.size())]);
+  }
+  SimTime last = SimTime::zero();
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+  }
+}
+
+// The decisive test: drive both schedulers with the identical operation
+// sequence and assert identical pop streams — time AND payload, which pins
+// the (time, seq) total order, not just time order.
+TEST(SlotCalendar, DifferentialFuzzMatchesHeapReference) {
+  for (const std::uint64_t seed : {1ULL, 2015ULL, 99991ULL}) {
+    SlotCalendar cal;
+    EventQueue heap;
+    firefly::util::Rng rng(seed);
+    std::vector<std::pair<EventId, EventId>> ids;  // (calendar, heap)
+    std::vector<int> cal_log;
+    std::vector<int> heap_log;
+    int tag = 0;
+    SimTime now = SimTime::zero();
+
+    for (int round = 0; round < 4000; ++round) {
+      const double p = rng.uniform();
+      if (p < 0.55) {
+        // Mostly slot-aligned times (the engine's pattern), some with
+        // microsecond offsets, a few far ahead.
+        std::int64_t delta_slots =
+            static_cast<std::int64_t>(rng.uniform_index(300));
+        if (rng.uniform() < 0.02) delta_slots += 70000;   // level 2
+        if (rng.uniform() < 0.005) delta_slots += 17000000;  // far horizon
+        std::int64_t us = (now.us / 1000 + delta_slots) * 1000;
+        if (rng.uniform() < 0.2) us += static_cast<std::int64_t>(rng.uniform_index(1000));
+        const int t = tag++;
+        ids.emplace_back(
+            cal.schedule(SimTime::microseconds(us), [&cal_log, t] { cal_log.push_back(t); }),
+            heap.schedule(SimTime::microseconds(us), [&heap_log, t] { heap_log.push_back(t); }));
+      } else if (p < 0.75 && !ids.empty()) {
+        const auto pick = rng.uniform_index(ids.size());
+        const bool a = cal.cancel(ids[pick].first);
+        const bool b = heap.cancel(ids[pick].second);
+        EXPECT_EQ(a, b);
+      } else if (!cal.empty()) {
+        ASSERT_FALSE(heap.empty());
+        ASSERT_EQ(cal.next_time(), heap.next_time());
+        auto fc = cal.pop();
+        auto fh = heap.pop();
+        ASSERT_EQ(fc.time, fh.time);
+        fc.fn();
+        fh.fn();
+        ASSERT_EQ(cal_log.back(), heap_log.back());
+        now = fc.time;
+      }
+      ASSERT_EQ(cal.size(), heap.size());
+    }
+    while (!cal.empty()) {
+      ASSERT_FALSE(heap.empty());
+      auto fc = cal.pop();
+      auto fh = heap.pop();
+      ASSERT_EQ(fc.time, fh.time);
+      fc.fn();
+      fh.fn();
+      ASSERT_EQ(cal_log.back(), heap_log.back());
+    }
+    EXPECT_TRUE(heap.empty());
+    EXPECT_EQ(cal_log, heap_log);
+  }
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 // check_bench_json — schema validator for firefly-bench-v1 JSONL files.
 //
 //   check_bench_json <file.json> [--require-series]
+//                    [--baseline <baseline.json>] [--max-regress <pct>]
 //
 // Used by CI (and by hand) to gate the machine-readable bench output
 // without pulling in python or a JSON library: a small recursive-descent
@@ -11,11 +12,18 @@
 //   * every line carries a "bench" key,
 //   * with --require-series, at least one line has "protocol" and "n"
 //     (a sweep-series record, as fig3/fig4 emit).
+//
+// With --baseline, the file's "speedup" records are additionally compared
+// against a committed baseline (e.g. BENCH_PR5.json): for each matching n,
+// the wheel_ms/heap_ms ratio must not exceed the baseline's ratio by more
+// than --max-regress percent (default 25).  Comparing the *ratio* rather
+// than absolute wall-clock makes the gate machine-speed independent.
 // Exit 0 on success, 1 on any violation (first violation is reported).
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -46,6 +54,20 @@ class LineParser {
     for (const auto& [k, v] : top_fields_)
       if (k == key) return v;
     return {};
+  }
+
+  /// Value of a top-level numeric field; false when absent or not a number.
+  [[nodiscard]] bool number_value(const std::string& key, double* out) const {
+    for (const auto& [k, v] : top_fields_) {
+      if (k != key || v.empty()) continue;
+      char* end = nullptr;
+      const double parsed = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() + v.size()) {
+        *out = parsed;
+        return true;
+      }
+    }
+    return false;
   }
 
  private:
@@ -85,7 +107,7 @@ class LineParser {
     return true;
   }
 
-  bool parse_number() {
+  bool parse_number(std::string* out) {
     const char* start = p_;
     if (p_ != end_ && *p_ == '-') ++p_;
     if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) return false;
@@ -101,7 +123,9 @@ class LineParser {
       if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) return false;
       while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
     }
-    return p_ != start;
+    if (p_ == start) return false;
+    if (out) out->assign(start, p_);
+    return true;
   }
 
   bool parse_literal(const char* lit) {
@@ -120,7 +144,7 @@ class LineParser {
       case 't': return parse_literal("true");
       case 'f': return parse_literal("false");
       case 'n': return parse_literal("null");
-      default: return parse_number();
+      default: return parse_number(string_out);
     }
   }
 
@@ -172,55 +196,123 @@ int fail(const std::string& path, std::size_t line_no, const std::string& why) {
   return 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string path;
-  bool require_series = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--require-series") require_series = true;
-    else if (path.empty()) path = arg;
-    else {
-      std::cerr << "usage: check_bench_json <file.json> [--require-series]\n";
-      return 2;
-    }
-  }
-  if (path.empty()) {
-    std::cerr << "usage: check_bench_json <file.json> [--require-series]\n";
-    return 2;
-  }
-
+/// Validate `path` line by line; on success also return the wheel_ms/heap_ms
+/// ratio of every "speedup" record, keyed by n.  Returns false after printing
+/// the first violation.
+bool validate_file(const std::string& path, bool require_series,
+                   std::map<long, double>* wheel_heap_ratio, std::size_t* records_out,
+                   std::size_t* series_out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::cerr << "cannot open " << path << "\n";
-    return 1;
+    return false;
   }
-
   std::string line;
   std::size_t line_no = 0;
   std::size_t series_records = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) return fail(path, line_no, "empty line");
+    if (line.empty()) { fail(path, line_no, "empty line"); return false; }
     LineParser parser(line);
-    if (!parser.parse()) return fail(path, line_no, "not a valid JSON object");
+    if (!parser.parse()) { fail(path, line_no, "not a valid JSON object"); return false; }
     if (line_no == 1) {
-      if (parser.string_value("schema") != "firefly-bench-v1")
-        return fail(path, line_no, "meta record missing schema \"firefly-bench-v1\"");
+      if (parser.string_value("schema") != "firefly-bench-v1") {
+        fail(path, line_no, "meta record missing schema \"firefly-bench-v1\"");
+        return false;
+      }
       for (const char* key : {"bench", "git_sha", "compiler"})
-        if (!parser.has_key(key))
-          return fail(path, line_no, std::string("meta record missing \"") + key + "\"");
+        if (!parser.has_key(key)) {
+          fail(path, line_no, std::string("meta record missing \"") + key + "\"");
+          return false;
+        }
     }
-    if (!parser.has_key("bench"))
-      return fail(path, line_no, "record missing \"bench\" key");
+    if (!parser.has_key("bench")) {
+      fail(path, line_no, "record missing \"bench\" key");
+      return false;
+    }
     if (parser.has_key("protocol") && parser.has_key("n")) ++series_records;
+    if (wheel_heap_ratio != nullptr && parser.string_value("series") == "speedup") {
+      double n = 0.0, wheel = 0.0, heap = 0.0;
+      if (!parser.number_value("n", &n) || !parser.number_value("wheel_ms", &wheel) ||
+          !parser.number_value("heap_ms", &heap)) {
+        fail(path, line_no, "speedup record missing numeric n/wheel_ms/heap_ms");
+        return false;
+      }
+      if (heap <= 0.0) { fail(path, line_no, "speedup record has heap_ms <= 0"); return false; }
+      (*wheel_heap_ratio)[static_cast<long>(n)] = wheel / heap;
+    }
   }
-  if (line_no == 0) return fail(path, 1, "file is empty");
-  if (require_series && series_records == 0)
-    return fail(path, line_no, "no series records (need \"protocol\" and \"n\")");
+  if (line_no == 0) { fail(path, 1, "file is empty"); return false; }
+  if (require_series && series_records == 0) {
+    fail(path, line_no, "no series records (need \"protocol\" and \"n\")");
+    return false;
+  }
+  if (records_out) *records_out = line_no;
+  if (series_out) *series_out = series_records;
+  return true;
+}
 
-  std::cout << path << ": OK (" << line_no << " records, " << series_records
-            << " series)\n";
+int usage() {
+  std::cerr << "usage: check_bench_json <file.json> [--require-series]\n"
+            << "                        [--baseline <baseline.json>] [--max-regress <pct>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string baseline_path;
+  double max_regress_pct = 25.0;
+  bool require_series = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-series") {
+      require_series = true;
+    } else if (arg == "--baseline") {
+      if (++i >= argc) return usage();
+      baseline_path = argv[i];
+    } else if (arg == "--max-regress") {
+      if (++i >= argc) return usage();
+      char* end = nullptr;
+      max_regress_pct = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || max_regress_pct < 0.0) return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::map<long, double> ratios;
+  std::size_t records = 0, series = 0;
+  if (!validate_file(path, require_series, &ratios, &records, &series)) return 1;
+
+  if (!baseline_path.empty()) {
+    std::map<long, double> base_ratios;
+    if (!validate_file(baseline_path, false, &base_ratios, nullptr, nullptr)) return 1;
+    std::size_t compared = 0;
+    for (const auto& [n, base] : base_ratios) {
+      const auto it = ratios.find(n);
+      if (it == ratios.end()) continue;  // trimmed CI runs cover a prefix of n
+      ++compared;
+      const double allowed = base * (1.0 + max_regress_pct / 100.0);
+      if (it->second > allowed) {
+        std::cerr << path << ": wheel/heap ratio regressed at n=" << n << ": "
+                  << it->second << " > " << base << " +" << max_regress_pct
+                  << "% (allowed " << allowed << ", baseline " << baseline_path << ")\n";
+        return 1;
+      }
+    }
+    if (compared == 0) {
+      std::cerr << path << ": no speedup records overlap baseline " << baseline_path << "\n";
+      return 1;
+    }
+    std::cout << path << ": wheel/heap ratio within " << max_regress_pct << "% of "
+              << baseline_path << " (" << compared << " sizes)\n";
+  }
+
+  std::cout << path << ": OK (" << records << " records, " << series << " series)\n";
   return 0;
 }
