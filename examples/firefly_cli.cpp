@@ -19,6 +19,17 @@
 //   --churn-stop <ms> [-1 = never]  --drift <max ppm> [0]
 //   --drop <probability> [0]        --fade-rate <fades/min> [0]
 //   --fade-ms <mean ms> [500]       --fade-depth <dB> [60]
+//   (--churn-rate is an alias for --churn, matching the service-mode docs)
+//
+// Service mode (long-lived soak; see DESIGN.md "Service mode"):
+//   --service                 run one open-ended soak instead of trials: the
+//                             run never stops at convergence, churn regenerates
+//                             forever, telemetry streams one window at a time
+//   --duration-slots <n>      soak horizon in 1 ms slots [1000000]
+//   --window-slots <n>        telemetry window length [1000]
+//   --snapshot-every <slots>  rollback-snapshot cadence [0 = never]
+//   --soak-out <path>         stream firefly-soak-v1 JSONL (header line, one
+//                             line per window, summary line)
 //
 // Observability (see DESIGN.md "Observability"):
 //   --telemetry               print a metric-registry summary after the runs
@@ -35,10 +46,12 @@
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "core/service_mode.hpp"
 #include "core/trace.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/soak.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -55,7 +68,9 @@ int main(int argc, char** argv) {
                  "       [--churn PER_MIN] [--downtime MS] [--churn-stop MS] [--drift PPM]\n"
                  "       [--drop P] [--fade-rate PER_MIN] [--fade-ms MS] [--fade-depth DB]\n"
                  "       [--telemetry] [--trace-chrome PATH] [--metrics-out PATH]\n"
-                 "       [--trace-csv PATH] [--trace-capacity N]\n";
+                 "       [--trace-csv PATH] [--trace-capacity N]\n"
+                 "       [--service] [--duration-slots N] [--window-slots N]\n"
+                 "       [--snapshot-every SLOTS] [--soak-out PATH]\n";
     return 0;
   }
 
@@ -73,7 +88,7 @@ int main(int argc, char** argv) {
   base.protocol.mobility_speed_mps = flags.get("mobility", 0.0);
   base.protocol.scheduler = sim::scheduler_from_string(flags.get("scheduler", std::string("wheel")));
   fault::FaultPlan& faults = base.protocol.faults;
-  faults.churn_rate_per_min = flags.get("churn", 0.0);
+  faults.churn_rate_per_min = flags.get("churn", flags.get("churn-rate", 0.0));
   faults.mean_downtime_ms = flags.get("downtime", faults.mean_downtime_ms);
   faults.churn_stop_ms = flags.get("churn-stop", faults.churn_stop_ms);
   faults.drift_max_ppm = flags.get("drift", 0.0);
@@ -122,6 +137,144 @@ int main(int argc, char** argv) {
   else if (protocol_arg == "all")
     protocols = {core::Protocol::kFst, core::Protocol::kSt, core::Protocol::kBirthday};
   else protocols = {core::Protocol::kFst, core::Protocol::kSt};
+
+  // Shared tail: telemetry summary, metrics JSONL trailer, trace exports.
+  // Used by both the trials path and the service-soak path.
+  const auto finish_observability = [&]() -> int {
+    if (flags.has("telemetry")) {
+      util::Table summary("telemetry (all trials of this invocation)");
+      summary.set_headers({"metric", "count", "mean", "p50", "p90", "p99", "max"});
+      for (const auto& [name, c] : telemetry.registry().counters()) {
+        summary.add_row({name, util::Table::num(static_cast<std::size_t>(c.value())), "-",
+                         "-", "-", "-", "-"});
+      }
+      for (const auto& [name, h] : telemetry.registry().histograms()) {
+        summary.add_row({name, util::Table::num(static_cast<std::size_t>(h.count())),
+                         util::Table::num(h.mean(), 2), util::Table::num(h.quantile(0.5), 2),
+                         util::Table::num(h.quantile(0.9), 2),
+                         util::Table::num(h.quantile(0.99), 2),
+                         util::Table::num(h.max(), 2)});
+      }
+      summary.print(std::cout);
+    }
+    if (metrics_ofs.is_open()) {
+      obs::JsonWriter w(metrics_ofs);
+      w.begin_object();
+      w.key("telemetry");
+      telemetry.registry().write_json(w);
+      // Loss visibility: a long soak that overwrote milestone-trace events
+      // or rotated histogram reservoirs must say so in the machine-readable
+      // output, not just on stdout.
+      w.field("trace_events", static_cast<std::uint64_t>(trace.events().size()));
+      w.field("trace_dropped", trace.dropped());
+      w.key("histogram_samples");
+      w.begin_object();
+      for (const auto& [name, h] : telemetry.registry().histograms()) {
+        w.field(name, static_cast<std::uint64_t>(h.count()));
+      }
+      w.end_object();
+      w.end_object();
+      metrics_ofs << '\n';
+      std::cout << "(metrics JSONL written to " << metrics_out << ")\n";
+    }
+    if (!trace_chrome.empty()) {
+      if (spans.write_chrome_trace(trace_chrome)) {
+        std::cout << "(Chrome trace written to " << trace_chrome << " — load in "
+                  << "chrome://tracing or https://ui.perfetto.dev; " << spans.size()
+                  << " spans, " << spans.dropped() << " dropped)\n";
+      } else {
+        std::cerr << "cannot open --trace-chrome '" << trace_chrome << "'\n";
+        return 2;
+      }
+    }
+    if (!trace_csv.empty()) {
+      trace.write_csv(trace_csv);
+      std::cout << "(milestone trace written to " << trace_csv << "; "
+                << trace.events().size() << " events buffered, " << trace.dropped()
+                << " overwritten)\n";
+    }
+    return 0;
+  };
+
+  // --- long-lived service mode: one open-ended soak, not a trial loop ---
+  if (flags.has("service")) {
+    core::ServiceConfig service;
+    service.duration_slots = flags.get("duration-slots", service.duration_slots);
+    service.window_slots = flags.get("window-slots", service.window_slots);
+    service.snapshot_every_slots =
+        flags.get("snapshot-every", service.snapshot_every_slots);
+    service.dedup_clear_periods = static_cast<std::uint32_t>(flags.get(
+        "dedup-clear-periods", static_cast<std::int64_t>(service.dedup_clear_periods)));
+    service.relabel_cap_per_period = static_cast<std::uint32_t>(flags.get(
+        "relabel-cap", static_cast<std::int64_t>(service.relabel_cap_per_period)));
+    const core::Protocol protocol =
+        protocols.size() == 1 ? protocols.front() : core::Protocol::kSt;
+
+    const std::string soak_out = flags.get("soak-out", std::string());
+    std::ofstream soak_ofs;
+    if (!soak_out.empty()) {
+      soak_ofs.open(soak_out, std::ios::binary | std::ios::trunc);
+      if (!soak_ofs) {
+        std::cerr << "cannot open --soak-out '" << soak_out << "'\n";
+        return 2;
+      }
+      obs::JsonWriter w(soak_ofs);
+      core::write_soak_header_json(w, protocol, base, service);
+      soak_ofs << '\n';
+    }
+    sim::SoakRecorder recorder;
+    if (soak_ofs.is_open()) {
+      recorder.set_consumer([&soak_ofs](const sim::SoakWindow& win) {
+        obs::JsonWriter w(soak_ofs);
+        core::write_soak_window_json(w, win);
+        soak_ofs << '\n';
+      });
+    }
+
+    const core::ServiceReport report =
+        core::run_service_trial(protocol, base, service, hooks, &recorder);
+    if (!report.ok()) {
+      std::cerr << "service mode rejected: " << report.error << '\n';
+      return 2;
+    }
+    if (soak_ofs.is_open()) {
+      obs::JsonWriter w(soak_ofs);
+      core::write_soak_summary_json(w, report);
+      soak_ofs << '\n';
+      std::cout << "(soak JSONL written to " << soak_out << ")\n";
+    }
+    if (metrics_ofs.is_open()) {
+      obs::JsonWriter w(metrics_ofs);
+      w.begin_object();
+      w.field("protocol", core::to_string(protocol));
+      w.field("service", true);
+      w.field("seed", base.seed);
+      w.key("run");
+      core::write_run_metrics_json(w, report.metrics);
+      w.end_object();
+      metrics_ofs << '\n';
+    }
+
+    util::Table soak_table("service soak: n=" + std::to_string(base.n) + ", " +
+                           std::to_string(service.duration_slots) + " slots");
+    soak_table.set_headers({"protocol", "windows", "dropped", "snapshots", "crashes",
+                            "recoveries", "sync uptime", "relabels", "suppressed",
+                            "events", "arena hwm"});
+    soak_table.add_row(
+        {core::to_string(protocol),
+         util::Table::num(static_cast<std::size_t>(report.windows)),
+         util::Table::num(static_cast<std::size_t>(report.windows_dropped)),
+         util::Table::num(static_cast<std::size_t>(report.snapshots)),
+         util::Table::num(static_cast<std::size_t>(report.metrics.crashes)),
+         util::Table::num(static_cast<std::size_t>(report.metrics.recoveries)),
+         util::Table::num(report.metrics.sync_uptime, 3),
+         util::Table::num(static_cast<std::size_t>(report.relabels)),
+         util::Table::num(static_cast<std::size_t>(report.relabels_suppressed)),
+         util::Table::num(static_cast<std::size_t>(report.metrics.events_processed)),
+         util::Table::num(static_cast<std::size_t>(report.arena_high_water))});
+    soak_table.print(std::cout);
+    return finish_observability();
+  }
 
   util::Table table("firefly-d2d run: n=" + std::to_string(base.n) + ", " +
                     std::to_string(trials) + " trial(s)");
@@ -203,46 +356,5 @@ int main(int argc, char** argv) {
   }
 
   // --- observability output ---
-  if (flags.has("telemetry")) {
-    util::Table summary("telemetry (all trials of this invocation)");
-    summary.set_headers({"metric", "count", "mean", "p50", "p90", "p99", "max"});
-    for (const auto& [name, c] : telemetry.registry().counters()) {
-      summary.add_row({name, util::Table::num(static_cast<std::size_t>(c.value())), "-",
-                       "-", "-", "-", "-"});
-    }
-    for (const auto& [name, h] : telemetry.registry().histograms()) {
-      summary.add_row({name, util::Table::num(static_cast<std::size_t>(h.count())),
-                       util::Table::num(h.mean(), 2), util::Table::num(h.quantile(0.5), 2),
-                       util::Table::num(h.quantile(0.9), 2),
-                       util::Table::num(h.quantile(0.99), 2),
-                       util::Table::num(h.max(), 2)});
-    }
-    summary.print(std::cout);
-  }
-  if (metrics_ofs.is_open()) {
-    obs::JsonWriter w(metrics_ofs);
-    w.begin_object();
-    w.key("telemetry");
-    telemetry.registry().write_json(w);
-    w.end_object();
-    metrics_ofs << '\n';
-    std::cout << "(metrics JSONL written to " << metrics_out << ")\n";
-  }
-  if (!trace_chrome.empty()) {
-    if (spans.write_chrome_trace(trace_chrome)) {
-      std::cout << "(Chrome trace written to " << trace_chrome << " — load in "
-                << "chrome://tracing or https://ui.perfetto.dev; " << spans.size()
-                << " spans, " << spans.dropped() << " dropped)\n";
-    } else {
-      std::cerr << "cannot open --trace-chrome '" << trace_chrome << "'\n";
-      return 2;
-    }
-  }
-  if (!trace_csv.empty()) {
-    trace.write_csv(trace_csv);
-    std::cout << "(milestone trace written to " << trace_csv << "; "
-              << trace.events().size() << " events buffered, " << trace.dropped()
-              << " overwritten)\n";
-  }
-  return 0;
+  return finish_observability();
 }

@@ -4,11 +4,17 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/service_mode.hpp"
+#include "fault/schedule_stream.hpp"
 #include "graph/union_find.hpp"
 #include "pco/prc.hpp"
 #include "util/stats.hpp"
 
 namespace firefly::core {
+
+// Out of line: engine.hpp holds unique_ptrs to types (EngineSnapshot, the
+// fault streams) that are incomplete there.
+EngineBase::~EngineBase() = default;
 
 EngineBase::EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
                        phy::RadioParams radio_params, std::uint64_t seed)
@@ -358,6 +364,11 @@ void EngineBase::install_fault_hook() {
 }
 
 void EngineBase::schedule_fault_events() {
+  // A service run has no fixed horizon: churn and fades come from the
+  // regenerating streams, one telemetry window at a time
+  // (schedule_service_faults).  Drift and the drop/fade delivery hook were
+  // installed in the constructor and stay live either way.
+  if (service_mode_) return;
   for (const fault::ChurnEvent& e : injector_->churn_schedule()) {
     sim_.schedule_at(sim::SimTime::milliseconds(e.slot), [this, e] {
       if (e.crash) {
@@ -416,6 +427,21 @@ void EngineBase::recover_device(std::uint32_t id) {
   trace(TraceKind::kRecover, id);
 }
 
+bool EngineBase::relabel_permitted() {
+  const std::int64_t window = current_slot() / params_.period_slots;
+  if (window != relabel_window_) {
+    relabel_window_ = window;
+    relabels_in_window_ = 0;
+  }
+  if (relabel_cap_per_period_ != 0 && relabels_in_window_ >= relabel_cap_per_period_) {
+    ++relabels_suppressed_;
+    return false;
+  }
+  ++relabels_in_window_;
+  ++relabels_total_;
+  return true;
+}
+
 RunMetrics EngineBase::collect_metrics() {
   RunMetrics metrics;
   const bool sync_ok = !requires_sync() || sync_slot_ >= 0;
@@ -450,10 +476,13 @@ void EngineBase::finalize_metrics(RunMetrics& metrics) const {
   // Resilience observables (all zero on fault-free runs).
   metrics.crashes = crashes_;
   metrics.recoveries = recoveries_;
+  // Service mode counts episodes as the stream emits them; the injector's
+  // pre-generated schedule is unused there.
   metrics.fade_episodes =
-      injector_ != nullptr
-          ? static_cast<std::uint32_t>(injector_->fade_schedule().size())
-          : 0;
+      service_mode_ ? service_fade_episodes_
+                    : (injector_ != nullptr
+                           ? static_cast<std::uint32_t>(injector_->fade_schedule().size())
+                           : 0);
   metrics.fault_drops = traffic.fault_drops;
   metrics.resyncs = resyncs_;
   metrics.mean_resync_ms = resyncs_ > 0 ? resync_sum_ms_ / resyncs_ : 0.0;

@@ -28,19 +28,55 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace firefly::fault {
+class ChurnStream;
+class FadeStream;
+}  // namespace firefly::fault
+
+namespace firefly::sim {
+class SoakRecorder;
+}  // namespace firefly::sim
+
 namespace firefly::core {
+
+struct ServiceConfig;
+struct ServiceReport;
+struct EngineSnapshot;
 
 class EngineBase {
  public:
   EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
              phy::RadioParams radio_params, std::uint64_t seed);
-  virtual ~EngineBase() = default;
+  virtual ~EngineBase();  // out of line: unique_ptr members of incomplete types
 
   EngineBase(const EngineBase&) = delete;
   EngineBase& operator=(const EngineBase&) = delete;
 
   /// Run the trial to convergence or the max_periods cap; fills metrics.
   RunMetrics run();
+
+  // --- long-lived service mode (implemented in core/service_mode.cpp) ---
+  /// Open-ended soak: windowed run loop fed by regenerating fault-schedule
+  /// streams, emitting one SoakWindow per window through `recorder` (may be
+  /// null), taking periodic rollback snapshots when configured.  Callable
+  /// again after restore() to resume the run to the same horizon; the
+  /// resumed run replays bit-identically.  See service_mode.hpp.
+  ServiceReport run_service(const ServiceConfig& cfg, sim::SoakRecorder* recorder = nullptr);
+
+  /// In-process rollback checkpoint of the complete mutable world: the
+  /// scheduler (wheel/arena state, callbacks cloned), devices, detectors,
+  /// radio traffic state, every RNG stream and the fault-schedule streams.
+  /// Static scenarios only (mobility rebuilds position-derived caches a
+  /// checkpoint does not carry).  restore() rewinds THIS engine; it is not
+  /// a serialised file.  test_service_mode proves a restored run reproduces
+  /// byte-identical RunMetrics.
+  [[nodiscard]] std::unique_ptr<EngineSnapshot> snapshot();
+  void restore(const EngineSnapshot& snap);
+  /// Latest snapshot taken by run_service's snapshot_every cadence (null
+  /// until the first one).
+  [[nodiscard]] const EngineSnapshot* service_snapshot() const {
+    return service_snapshot_.get();
+  }
 
   [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
   [[nodiscard]] const ProtocolParams& params() const { return params_; }
@@ -77,6 +113,20 @@ class EngineBase {
   /// injection).  The base already clears the oscillator and the neighbour
   /// table; ST additionally resets its fragment state here.
   virtual void on_recover(Device& /*device*/) {}
+  /// Protocol-level scalar state for snapshot/restore, packed into one word
+  /// (ST: the fresh-label cursor).  Protocols with per-device state only
+  /// need nothing here — devices are captured wholesale.
+  [[nodiscard]] virtual std::uint64_t protocol_snapshot_word() const { return 0; }
+  virtual void protocol_restore_word(std::uint64_t /*word*/) {}
+
+  /// Re-election storm brake.  Headless-fragment reclaims call this before
+  /// relabelling; at most `relabel_cap_per_period` are granted per firing
+  /// period network-wide (0 = unlimited, the one-shot default).  A mass
+  /// departure can orphan many fragments at once; without the cap every
+  /// orphan floods a fresh announce wave in the same period.  Suppressed
+  /// reclaims retry next period via the existing lease timers.  Grants and
+  /// suppressions are counted for the soak telemetry either way.
+  [[nodiscard]] bool relabel_permitted();
 
   // --- fault injection (tentpole subsystem) ---
   /// Crash a device now: radio off, firing event cancelled, excluded from
@@ -185,6 +235,26 @@ class EngineBase {
   double resync_max_ms_ = 0.0;
   bool repair_base_set_ = false;
   std::uint64_t repair_rach2_base_ = 0;
+
+  // --- service mode (run_service; implemented in core/service_mode.cpp) ---
+  /// Generate and schedule churn/fade events for slots up to `to_slot` from
+  /// the regenerating streams (one telemetry window at a time).
+  void schedule_service_faults(std::int64_t to_slot);
+
+  bool service_mode_ = false;     // schedule_fault_events() defers to streams
+  bool service_started_ = false;  // start_run() already executed
+  std::unique_ptr<fault::ChurnStream> churn_stream_;
+  std::unique_ptr<fault::FadeStream> fade_stream_;
+  std::vector<fault::ChurnEvent> churn_chunk_;  // reused per-window buffers
+  std::vector<fault::FadeEpisode> fade_chunk_;
+  std::uint32_t service_fade_episodes_ = 0;
+  std::unique_ptr<EngineSnapshot> service_snapshot_;
+  // Relabel storm-cap bookkeeping (see relabel_permitted()).
+  std::uint32_t relabel_cap_per_period_ = 0;
+  std::int64_t relabel_window_ = -1;
+  std::uint32_t relabels_in_window_ = 0;
+  std::uint64_t relabels_total_ = 0;
+  std::uint64_t relabels_suppressed_ = 0;
 };
 
 }  // namespace firefly::core

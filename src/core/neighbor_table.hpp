@@ -15,6 +15,7 @@
 // deterministic iteration).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -113,10 +114,30 @@ class NeighborTable {
     return slots_[slot].second;
   }
 
+  /// Pre-size for up to `max_entries` keys so no future insertion rehashes.
+  /// Growth-only, and the slot count stays the same power-of-two sequence a
+  /// demand-driven table would reach — only the *timing* of the growth
+  /// moves.  Service mode calls this with the domain bound (n−1 possible
+  /// neighbours) so a soak's steady state never sets a new size record.
+  void reserve(std::size_t max_entries) {
+    std::size_t want = kMinSlots;
+    while (max_entries * 4 > want * 3) want *= 2;  // mirrors the insert check
+    if (slots_.empty()) {
+      slots_.assign(want, value_type{});
+    } else if (want > slots_.size()) {
+      rehash(want);
+    }
+  }
+
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Empties the table but keeps the slot array: a cleared table belongs to
+  /// a recovering device and refills within a few periods, so retention
+  /// makes crash/recover churn rehash- and allocation-free (the service
+  /// heap gate measures this).  Peak size is bounded by the n−1 possible
+  /// neighbours, so what is retained is bounded too.
   void clear() {
-    slots_.clear();
+    std::fill(slots_.begin(), slots_.end(), value_type{});
     size_ = 0;
   }
 

@@ -1,5 +1,7 @@
 #include "core/report.hpp"
 
+#include "obs/build_info.hpp"
+
 namespace firefly::core {
 
 void write_sample_json(obs::JsonWriter& w, const util::Sample& sample) {
@@ -77,6 +79,73 @@ void write_sweep_point_json(obs::JsonWriter& w, const SweepPoint& point,
   write_sample_json(w, point.neighbors_discovered);
   w.key("ranging_error");
   write_sample_json(w, point.ranging_error);
+  w.end_object();
+}
+
+void write_soak_header_json(obs::JsonWriter& w, Protocol protocol,
+                            const ScenarioConfig& config,
+                            const ServiceConfig& service) {
+  w.begin_object();
+  w.field("schema", "firefly-soak-v1");
+  obs::write_build_info_fields(w);
+  w.field("protocol", to_string(protocol));
+  w.field("n", static_cast<std::uint64_t>(config.n));
+  w.field("seed", config.seed);
+  w.field("duration_slots", service.duration_slots);
+  w.field("window_slots", service.window_slots);
+  w.field("snapshot_every_slots", service.snapshot_every_slots);
+  w.field("dedup_clear_periods",
+          static_cast<std::uint64_t>(service.dedup_clear_periods));
+  w.field("relabel_cap_per_period",
+          static_cast<std::uint64_t>(service.relabel_cap_per_period));
+  w.field("churn_rate_per_min", config.protocol.faults.churn_rate_per_min);
+  w.field("mean_downtime_ms", config.protocol.faults.mean_downtime_ms);
+  w.end_object();
+}
+
+void write_soak_window_json(obs::JsonWriter& w, const sim::SoakWindow& win) {
+  w.begin_object();
+  w.key("window");
+  w.begin_object();
+  w.field("index", win.index);
+  w.field("start_slot", win.start_slot);
+  w.field("end_slot", win.end_slot);
+  w.field("live_devices", static_cast<std::uint64_t>(win.live_devices));
+  w.field("crashes", static_cast<std::uint64_t>(win.crashes));
+  w.field("recoveries", static_cast<std::uint64_t>(win.recoveries));
+  w.field("messages", win.messages);
+  w.field("deliveries", win.deliveries);
+  w.field("collisions", win.collisions);
+  w.field("fault_drops", win.fault_drops);
+  w.field("msg_rate_per_slot", win.msg_rate_per_slot);
+  w.field("synced_once", win.synced_once);
+  w.field("sync_fraction", win.sync_fraction);
+  w.field("resyncs", static_cast<std::uint64_t>(win.resyncs));
+  w.field("mean_resync_ms", win.mean_resync_ms);
+  w.field("relabels", win.relabels);
+  w.field("relabels_suppressed", win.relabels_suppressed);
+  w.field("events_live", static_cast<std::uint64_t>(win.events_live));
+  w.field("arena_capacity", static_cast<std::uint64_t>(win.arena_capacity));
+  w.field("arena_high_water", static_cast<std::uint64_t>(win.arena_high_water));
+  w.field("events_processed", win.events_processed);
+  w.end_object();
+  w.end_object();
+}
+
+void write_soak_summary_json(obs::JsonWriter& w, const ServiceReport& report) {
+  w.begin_object();
+  w.key("summary");
+  w.begin_object();
+  w.field("windows", report.windows);
+  w.field("windows_dropped", report.windows_dropped);
+  w.field("snapshots", report.snapshots);
+  w.field("relabels", report.relabels);
+  w.field("relabels_suppressed", report.relabels_suppressed);
+  w.field("arena_capacity", report.arena_capacity);
+  w.field("arena_high_water", report.arena_high_water);
+  w.key("metrics");
+  write_run_metrics_json(w, report.metrics);
+  w.end_object();
   w.end_object();
 }
 

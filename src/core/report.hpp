@@ -12,7 +12,9 @@
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
 #include "core/scenario.hpp"
+#include "core/service_mode.hpp"
 #include "obs/json.hpp"
+#include "sim/soak.hpp"
 #include "util/stats.hpp"
 
 namespace firefly::core {
@@ -30,5 +32,27 @@ void write_run_metrics_json(obs::JsonWriter& w, const RunMetrics& metrics);
 ///  "convergence_ms":{..},"total_messages":{..},...}.
 void write_sweep_point_json(obs::JsonWriter& w, const SweepPoint& point,
                             Protocol protocol, const char* bench);
+
+// --- service-mode soak telemetry (schema "firefly-soak-v1") -----------------
+// A soak file is JSONL: one header line identifying the run, then one line
+// per telemetry window as the soak progresses (streamable: each line is
+// complete the moment the window closes), then one summary line.  The same
+// determinism contract as bench-v1 applies: same seed, same bytes.
+
+/// Header: {"schema":"firefly-soak-v1",<build info>,"protocol":..,"n":..,
+///          "seed":..,"duration_slots":..,"window_slots":..,
+///          "snapshot_every_slots":..,"churn_rate_per_min":..,
+///          "mean_downtime_ms":..}.
+void write_soak_header_json(obs::JsonWriter& w, Protocol protocol,
+                            const ScenarioConfig& config,
+                            const ServiceConfig& service);
+
+/// One telemetry window: {"window":{...every SoakWindow field...}}.
+void write_soak_window_json(obs::JsonWriter& w, const sim::SoakWindow& window);
+
+/// Trailing summary: {"summary":{"windows":..,"windows_dropped":..,
+///  "snapshots":..,"relabels":..,"relabels_suppressed":..,
+///  "arena_capacity":..,"arena_high_water":..,"metrics":{...}}}.
+void write_soak_summary_json(obs::JsonWriter& w, const ServiceReport& report);
 
 }  // namespace firefly::core

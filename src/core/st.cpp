@@ -130,6 +130,10 @@ void StEngine::maybe_reclaim_headless_fragment(Device& device) {
   // shatter the remnant into singletons.  A Bernoulli draw per round lets
   // one early claimant win; its re-label announce rescues the rest.
   if (!control_rng_.bernoulli(0.25)) return;
+  // Storm brake (service mode): a mass departure orphans many fragments in
+  // the same period; the cap spreads their announce floods over several
+  // periods.  Suppressed claimants simply retry next round.
+  if (!relabel_permitted()) return;
   const std::uint16_t old_label = device.fragment;
   device.is_head = true;
   device.fragment = fresh_label();

@@ -54,6 +54,14 @@ class StEngine : public EngineBase {
   [[nodiscard]] bool protocol_complete() const override;
   /// Cold-boot fragment state after a crash: singleton head, fresh label.
   void on_recover(Device& device) override;
+  /// Snapshot/restore: the fresh-label cursor is ST's only engine-level
+  /// mutable scalar (everything else lives in the Device records).
+  [[nodiscard]] std::uint64_t protocol_snapshot_word() const override {
+    return next_label_;
+  }
+  void protocol_restore_word(std::uint64_t word) override {
+    next_label_ = static_cast<std::uint16_t>(word);
+  }
 
  private:
   void round_action(Device& device);

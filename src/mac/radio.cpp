@@ -458,4 +458,40 @@ void RadioMedium::flush_slot() {
   resolve_receivers();
 }
 
+void RadioMedium::reserve_delivery(std::size_t max_tx_per_slot) {
+  pending_.reserve(max_tx_per_slot);
+  flushing_.reserve(max_tx_per_slot);
+  if (buckets_.size() < devices_.size()) buckets_.resize(devices_.size());
+  touched_.reserve(devices_.size());
+  for (std::vector<Audible>& bucket : buckets_) bucket.reserve(max_tx_per_slot);
+  prefetch_ids_.reserve(max_tx_per_slot);
+  res_key_.reserve(max_tx_per_slot);
+  aud_mw_.reserve(max_tx_per_slot);
+}
+
+RadioMedium::StateSnapshot RadioMedium::save_state() const {
+  StateSnapshot snap;
+  snap.counters = counters_;
+  snap.pending = pending_;
+  snap.flushing = flushing_;
+  snap.flush_scheduled = flush_scheduled_;
+  snap.down = down_;
+  snap.down_count = down_count_;
+  return snap;
+}
+
+void RadioMedium::restore_state(const StateSnapshot& snap) {
+  counters_ = snap.counters;
+  pending_ = snap.pending;
+  flushing_ = snap.flushing;
+  flush_scheduled_ = snap.flush_scheduled;
+  down_ = snap.down;
+  down_count_ = snap.down_count;
+  // The collision prepass tags per-resource slots with the current epoch and
+  // pre-increments before each bucket, so rewinding the epoch to zero (no
+  // slot carries tag 0 after a fill) is equivalent to clearing the table.
+  group_epoch_ = 0;
+  std::fill(std::begin(group_seen_), std::end(group_seen_), std::uint64_t{0});
+}
+
 }  // namespace firefly::mac

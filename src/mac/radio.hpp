@@ -163,6 +163,36 @@ class RadioMedium {
     std::uint64_t payload;
     sim::SimTime slot_start;
   };
+
+ public:
+  /// Mutable-state checkpoint for the engine's in-process snapshot/restore.
+  /// Geometry, the candidate cache and the installed hooks are not captured
+  /// — they are position-derived and snapshots are restricted to static
+  /// scenarios — so only traffic state is: the counters, the two slot
+  /// buffers, the flush-armed flag and the down set.  The per-resource
+  /// collision scratch is epoch-tagged and rewound wholesale on restore.
+  struct StateSnapshot {
+    TrafficCounters counters;
+    std::vector<PendingTx> pending;
+    std::vector<PendingTx> flushing;
+    bool flush_scheduled = false;
+    std::vector<std::uint8_t> down;
+    std::size_t down_count = 0;
+  };
+  [[nodiscard]] StateSnapshot save_state() const;
+  void restore_state(const StateSnapshot& snap);
+
+  /// Pre-size the per-slot delivery scratch (the pending/flushing double
+  /// buffer, the per-receiver audible buckets and their side arrays) for a
+  /// worst case of `max_tx_per_slot` simultaneous transmissions.  These
+  /// vectors never shrink, so they only allocate when a slot sets a new
+  /// lifetime-record load; reserving past the workload's record up front
+  /// makes a long soak's steady state allocation-free (the service-mode
+  /// heap gate relies on this).  Purely a capacity hint — delivery
+  /// behaviour is unchanged.
+  void reserve_delivery(std::size_t max_tx_per_slot);
+
+ private:
   /// A transmission audible at one receiver, pre-collision-resolution.
   struct Audible {
     const PendingTx* tx;

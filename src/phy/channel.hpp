@@ -121,6 +121,11 @@ class Channel {
   [[nodiscard]] const PathLossModel& pathloss() const { return *pathloss_; }
   [[nodiscard]] ShadowingModel& shadowing() { return *shadowing_; }
   [[nodiscard]] const FadingModel& fading() const { return *fading_; }
+  /// The fast-fading stream — the channel's only mutable state in a static
+  /// scenario (shadowing memo entries are pure caches of hash-derived
+  /// draws).  Exposed so the engine's snapshot/restore checkpoint can save
+  /// and rewind it.
+  [[nodiscard]] util::Rng& fading_rng() { return fading_rng_; }
 
  private:
   RadioParams params_;

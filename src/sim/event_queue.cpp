@@ -52,4 +52,16 @@ EventQueue::Fired EventQueue::pop() {
   return Fired{e.time, e.id, std::move(e.fn)};
 }
 
+void EventQueue::clone_into(EventQueue& dst) const {
+  dst.heap_.clear();
+  dst.heap_.reserve(heap_.size());
+  for (const Entry& e : heap_)
+    dst.heap_.push_back(Entry{e.time, e.seq, e.id, e.fn.clone()});
+  dst.pending_ = pending_;
+  dst.cancelled_ = cancelled_;
+  dst.next_seq_ = next_seq_;
+  dst.next_id_ = next_id_;
+  dst.live_count_ = live_count_;
+}
+
 }  // namespace firefly::sim

@@ -56,6 +56,13 @@ class EventQueue {
   };
   Fired pop();
 
+  /// Deep-copy this queue's complete state (entries, cancellation sets, id
+  /// and sequence counters) into `dst`, cloning every stored callback.
+  /// Ids minted by this queue stay valid against the copy, and the copy
+  /// pops in exactly the same (time, seq) order — the scheduler half of the
+  /// simulator's snapshot/restore checkpoint.
+  void clone_into(EventQueue& dst) const;
+
  private:
   struct Entry {
     SimTime time;

@@ -85,6 +85,58 @@ SimTime Simulator::run_until(SimTime deadline) {
 
 SimTime Simulator::run() { return run_until(SimTime::max()); }
 
+Simulator::Snapshot Simulator::snapshot() const {
+  Snapshot snap;
+  snap.kind = kind_;
+  if (kind_ == SchedulerKind::kWheel) {
+    wheel_.clone_into(snap.wheel);
+  } else {
+    heap_.clone_into(snap.heap);
+  }
+  snap.now = now_;
+  snap.events_processed = events_processed_;
+  snap.periodic.reserve(periodic_states_.size());
+  for (const auto* s : periodic_states_)
+    snap.periodic.emplace_back(s->pending, s->cancelled);
+  return snap;
+}
+
+void Simulator::restore(const Snapshot& snap) {
+  assert(snap.kind == kind_ && "snapshot came from a different scheduler kind");
+  assert(snap.periodic.size() <= periodic_states_.size());
+  if (kind_ == SchedulerKind::kWheel) {
+    snap.wheel.clone_into(wheel_);
+  } else {
+    snap.heap.clone_into(heap_);
+  }
+  now_ = snap.now;
+  events_processed_ = snap.events_processed;
+  stop_requested_ = false;
+  for (std::size_t i = 0; i < periodic_states_.size(); ++i) {
+    if (i < snap.periodic.size()) {
+      periodic_states_[i]->pending = snap.periodic[i].first;
+      periodic_states_[i]->cancelled = snap.periodic[i].second;
+    } else {
+      // Installed after the snapshot: its State must stay allocated (cloned
+      // closures in the restored queue never reference it, but the vector
+      // owns it), yet it must never re-arm.
+      periodic_states_[i]->cancelled = true;
+    }
+  }
+}
+
+Simulator::SchedulerStats Simulator::scheduler_stats() const {
+  SchedulerStats stats;
+  if (kind_ == SchedulerKind::kWheel) {
+    stats.live_events = wheel_.size();
+    stats.arena_capacity = wheel_.arena_capacity();
+    stats.arena_high_water = wheel_.arena_high_water();
+  } else {
+    stats.live_events = heap_.size();
+  }
+  return stats;
+}
+
 Simulator::~Simulator() {
   for (auto* s : periodic_states_) delete s;
 }

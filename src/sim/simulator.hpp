@@ -67,6 +67,36 @@ class Simulator {
   void stop() { stop_requested_ = true; }
   [[nodiscard]] bool stopped() const { return stop_requested_; }
 
+  /// In-process rollback checkpoint of the scheduler: clock, counters, the
+  /// complete pending-event set (callbacks cloned) and the re-arm state of
+  /// every periodic timer.  restore() rewinds THIS simulator — scheduled
+  /// closures capture raw pointers (engine, devices, periodic states) that
+  /// are only meaningful inside the owning process, so a snapshot is a
+  /// rewind point, not a serialised file.
+  struct Snapshot {
+    SchedulerKind kind = SchedulerKind::kWheel;
+    SlotCalendar wheel;
+    EventQueue heap;
+    SimTime now = SimTime::zero();
+    std::uint64_t events_processed = 0;
+    // Per periodic timer, in installation order: (pending occurrence id,
+    // cancelled flag).  Timers installed after the snapshot are marked
+    // cancelled on restore (their State outlives the rollback, but their
+    // pending occurrence no longer exists in the restored queue).
+    std::vector<std::pair<EventId, bool>> periodic;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+  /// Pending-set footprint, for the bounded-memory probe.  The arena fields
+  /// are zero under kHeap (the reference heap has no arena).
+  struct SchedulerStats {
+    std::size_t live_events = 0;
+    std::size_t arena_capacity = 0;
+    std::size_t arena_high_water = 0;
+  };
+  [[nodiscard]] SchedulerStats scheduler_stats() const;
+
   ~Simulator();
 
  private:

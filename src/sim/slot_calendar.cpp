@@ -301,4 +301,28 @@ std::uint32_t SlotCalendar::ready_pop() {
   return idx;
 }
 
+void SlotCalendar::clone_into(SlotCalendar& dst) const {
+  // Slot-exact arena copy: freelist chain and generations carry over, so the
+  // ((idx+1) << 32 | gen) ids devices hold remain valid against the copy.
+  // Cancelled and free slots hold a null fn; clone() maps null to null.
+  dst.arena_.copy_from(arena_, [](Rec& d, const Rec& s) {
+    d.time = s.time;
+    d.seq = s.seq;
+    d.next = s.next;
+    d.gen = s.gen;
+    d.state = s.state;
+    d.fn = s.fn.clone();
+  });
+  std::copy(std::begin(l0_), std::end(l0_), std::begin(dst.l0_));
+  std::copy(std::begin(l1_), std::end(l1_), std::begin(dst.l1_));
+  std::copy(std::begin(l2_), std::end(l2_), std::begin(dst.l2_));
+  dst.far_ = far_;
+  dst.cur_slot_ = cur_slot_;
+  dst.ready_active_ = ready_active_;
+  dst.ready_ = ready_;
+  std::copy(std::begin(residents_), std::end(residents_), std::begin(dst.residents_));
+  dst.next_seq_ = next_seq_;
+  dst.live_count_ = live_count_;
+}
+
 }  // namespace firefly::sim

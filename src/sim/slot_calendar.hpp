@@ -51,6 +51,18 @@ class SlotCalendar {
   /// Pop the earliest live event.  Precondition: !empty().
   FiredEvent pop();
 
+  /// Deep-copy the calendar's complete state into `dst`: the record arena
+  /// (slot-exact, callbacks cloned, generations preserved — so EventIds
+  /// minted here stay valid against the copy), every bucket list, the
+  /// cursor, the ready heap and the counters.  The copy pops in exactly the
+  /// same (time, seq) order as the original; this is the scheduler half of
+  /// the simulator's snapshot/restore checkpoint.
+  void clone_into(SlotCalendar& dst) const;
+
+  /// Arena footprint probes for the bounded-memory soak gate.
+  [[nodiscard]] std::size_t arena_capacity() const { return arena_.capacity(); }
+  [[nodiscard]] std::size_t arena_high_water() const { return arena_.high_water(); }
+
  private:
   static constexpr std::uint32_t kNil = util::SlabArena<int>::kNil;
   static constexpr std::uint32_t kBuckets = 256;  // per level

@@ -29,6 +29,7 @@ class SlabArena {
     const std::uint32_t idx = free_head_;
     free_head_ = free_link_[idx];
     ++live_;
+    if (live_ > high_water_) high_water_ = live_;
     return idx;
   }
 
@@ -52,7 +53,31 @@ class SlabArena {
 
   [[nodiscard]] std::size_t capacity() const { return chunks_.size() * kChunkSize; }
   [[nodiscard]] std::size_t live() const { return live_; }
+  /// Lifetime maximum of live(): the bounded-memory probe.  A steady-state
+  /// soak must see this stop moving after warm-up — capacity never shrinks,
+  /// so a flat high-water mark means the arena stopped allocating.
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
   [[nodiscard]] bool in_range(std::uint64_t idx) const { return idx < capacity(); }
+
+  /// Overwrite this arena with a slot-exact copy of `src`: same chunk count,
+  /// same freelist chain, every slot copied through `copy_slot(dst, src)`.
+  /// Slot indices (and whatever generation counters the element type keeps)
+  /// are preserved, so handles minted against `src` stay valid against the
+  /// copy — this is what lets a restored scheduler keep the EventIds that
+  /// devices still hold.  The high-water mark keeps its own maximum: a
+  /// rollback must not hide growth from the memory probe.
+  template <typename CopySlot>
+  void copy_from(const SlabArena& src, CopySlot&& copy_slot) {
+    while (chunks_.size() < src.chunks_.size())
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    chunks_.resize(src.chunks_.size());
+    const auto n = static_cast<std::uint32_t>(src.capacity());
+    for (std::uint32_t i = 0; i < n; ++i) copy_slot((*this)[i], src[i]);
+    free_link_ = src.free_link_;
+    free_head_ = src.free_head_;
+    live_ = src.live_;
+    if (src.high_water_ > high_water_) high_water_ = src.high_water_;
+  }
 
  private:
   void grow() {
@@ -71,6 +96,7 @@ class SlabArena {
   std::vector<std::uint32_t> free_link_;  // per-slot next-free index
   std::uint32_t free_head_ = kNil;
   std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace firefly::util

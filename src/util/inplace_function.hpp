@@ -9,6 +9,7 @@
 // general `std::function` replacement — only what the simulator needs.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <new>
 #include <type_traits>
@@ -65,12 +66,42 @@ class InplaceFunction<R(Args...), Capacity> {
     return ops_->invoke(buffer_, std::forward<Args>(args)...);
   }
 
+  /// Deep copy of the stored callable.  The class stays move-only (the
+  /// scheduler never copies events accidentally); cloning is the explicit
+  /// escape hatch the snapshot/restore checkpoint uses to duplicate a
+  /// pending-event set.  Requires the callable to be copy-constructible —
+  /// every closure the engines schedule is (they capture raw pointers and
+  /// scalars); a non-copyable capture asserts.  An empty function clones
+  /// to an empty function.
+  [[nodiscard]] InplaceFunction clone() const {
+    InplaceFunction out;
+    if (ops_ != nullptr) {
+      assert(ops_->copy != nullptr &&
+             "clone() requires a copy-constructible callable");
+      ops_->copy(out.buffer_, buffer_);
+      out.ops_ = ops_;
+    }
+    return out;
+  }
+
  private:
   struct Ops {
     R (*invoke)(void*, Args...);
     void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
     void (*destroy)(void*);
+    void (*copy)(void* dst, const void* src);  // null for non-copyable callables
   };
+
+  template <typename D>
+  static constexpr auto copy_op() -> void (*)(void*, const void*) {
+    if constexpr (std::is_copy_constructible_v<D>) {
+      return [](void* dst, const void* src) {
+        ::new (dst) D(*std::launder(reinterpret_cast<const D*>(src)));
+      };
+    } else {
+      return nullptr;
+    }
+  }
 
   template <typename D>
   static constexpr Ops ops_for{
@@ -83,6 +114,7 @@ class InplaceFunction<R(Args...), Capacity> {
         s->~D();
       },
       [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+      copy_op<D>(),
   };
 
   void reset() {

@@ -1,0 +1,209 @@
+// Tests for the long-lived service mode (core/service_mode): windowed soak
+// telemetry, the snapshot/restore rollback checkpoint (byte-identical
+// RunMetrics after a mid-soak restore), scheduler-backend equivalence, the
+// recorder's backpressure accounting and the config-validation paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/service_mode.hpp"
+#include "core/st.hpp"
+#include "sim/soak.hpp"
+
+namespace {
+
+using namespace firefly;
+
+core::ScenarioConfig soak_scenario(std::uint64_t seed = 11) {
+  core::ScenarioConfig config;
+  config.n = 24;
+  config.seed = seed;
+  config.protocol.faults.churn_rate_per_min = 120.0;  // 2 crashes/sec
+  config.protocol.faults.mean_downtime_ms = 900.0;
+  return config;
+}
+
+core::ServiceConfig short_soak() {
+  core::ServiceConfig service;
+  service.duration_slots = 25'000;
+  service.window_slots = 1'000;
+  return service;
+}
+
+/// StEngine with the service API opened up for direct driving.
+class ServiceSt : public core::StEngine {
+ public:
+  using core::StEngine::StEngine;
+  using core::StEngine::restore;
+  using core::StEngine::run_service;
+  using core::StEngine::snapshot;
+};
+
+TEST(ServiceMode, EmitsOneWindowPerSlice) {
+  sim::SoakRecorder recorder;
+  const core::ServiceReport report = core::run_service_trial(
+      core::Protocol::kSt, soak_scenario(), short_soak(), {}, &recorder);
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(report.windows, 25u);
+  EXPECT_EQ(recorder.emitted(), 25u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(report.windows_dropped, 0u);
+
+  std::vector<sim::SoakWindow> windows;
+  recorder.drain([&](const sim::SoakWindow& w) { windows.push_back(w); });
+  ASSERT_EQ(windows.size(), 25u);
+  std::uint64_t crashes = 0, messages = 0;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].index, i);
+    EXPECT_EQ(windows[i].start_slot, static_cast<std::int64_t>(i) * 1'000);
+    EXPECT_EQ(windows[i].end_slot, static_cast<std::int64_t>(i + 1) * 1'000);
+    EXPECT_LE(windows[i].live_devices, 24u);
+    EXPECT_GT(windows[i].live_devices, 0u);
+    crashes += windows[i].crashes;
+    messages += windows[i].messages;
+  }
+  // Window deltas add up to the run totals.
+  EXPECT_EQ(crashes, report.metrics.crashes);
+  EXPECT_EQ(messages, report.metrics.total_messages());
+  EXPECT_GT(crashes, 0u) << "soak saw no churn";
+  // The memory probe is populated (wheel scheduler has an arena).
+  EXPECT_GT(report.arena_capacity, 0u);
+  EXPECT_GT(report.arena_high_water, 0u);
+  EXPECT_LE(report.arena_high_water, report.arena_capacity);
+}
+
+TEST(ServiceMode, SnapshotRestoreReproducesByteIdenticalMetrics) {
+  const core::ScenarioConfig config = soak_scenario(5);
+  core::ServiceConfig service = short_soak();
+  service.snapshot_every_slots = 10'000;  // checkpoints at slots 10k and 20k
+
+  const std::vector<geo::Vec2> positions = core::deploy(config);
+
+  // Uninterrupted reference run (no snapshots at all).
+  ServiceSt reference(positions, config.protocol, config.radio, config.seed);
+  const core::ServiceReport ref = reference.run_service(short_soak());
+  ASSERT_TRUE(ref.ok()) << ref.error;
+
+  // Snapshotting run: identical metrics (checkpointing is a pure observer) …
+  ServiceSt checkpointed(positions, config.protocol, config.radio, config.seed);
+  const core::ServiceReport with_snaps = checkpointed.run_service(service);
+  ASSERT_TRUE(with_snaps.ok()) << with_snaps.error;
+  EXPECT_EQ(with_snaps.snapshots, 2u);
+  EXPECT_TRUE(ref.metrics == with_snaps.metrics)
+      << "taking snapshots perturbed the run";
+
+  // … and rolling back to the slot-20k checkpoint then re-running the tail
+  // reproduces the exact same end state, byte for byte.
+  ASSERT_NE(checkpointed.service_snapshot(), nullptr);
+  checkpointed.restore(*checkpointed.service_snapshot());
+  const core::ServiceReport resumed = checkpointed.run_service(service);
+  ASSERT_TRUE(resumed.ok()) << resumed.error;
+  EXPECT_EQ(resumed.windows, 5u) << "resume should cover slots 20k..25k";
+  EXPECT_TRUE(ref.metrics == resumed.metrics)
+      << "restored run diverged from the uninterrupted one";
+}
+
+TEST(ServiceMode, RestoreRewindsAndReplaysWindows) {
+  const core::ScenarioConfig config = soak_scenario(9);
+  core::ServiceConfig service = short_soak();
+  service.duration_slots = 10'000;
+  service.snapshot_every_slots = 4'000;  // checkpoints land at slots 4k and 8k
+
+  const std::vector<geo::Vec2> positions = core::deploy(config);
+  ServiceSt engine(positions, config.protocol, config.radio, config.seed);
+
+  sim::SoakRecorder first_pass;
+  const core::ServiceReport report = engine.run_service(service, &first_pass);
+  ASSERT_TRUE(report.ok()) << report.error;
+  std::vector<sim::SoakWindow> all;
+  first_pass.drain([&](const sim::SoakWindow& w) { all.push_back(w); });
+  ASSERT_EQ(all.size(), 10u);
+
+  ASSERT_NE(engine.service_snapshot(), nullptr);
+  engine.restore(*engine.service_snapshot());
+  sim::SoakRecorder replay;
+  const core::ServiceReport resumed = engine.run_service(service, &replay);
+  ASSERT_TRUE(resumed.ok()) << resumed.error;
+  std::vector<sim::SoakWindow> tail;
+  replay.drain([&](const sim::SoakWindow& w) { tail.push_back(w); });
+  ASSERT_EQ(tail.size(), 2u) << "last checkpoint was at slot 8000";
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_TRUE(tail[i] == all[8 + i])
+        << "replayed window " << tail[i].index << " differs";
+  }
+}
+
+TEST(ServiceMode, WheelAndHeapSchedulersAgree) {
+  core::ScenarioConfig config = soak_scenario(3);
+  config.n = 16;
+  core::ServiceConfig service = short_soak();
+  service.duration_slots = 12'000;
+
+  config.protocol.scheduler = sim::SchedulerKind::kWheel;
+  const core::ServiceReport wheel =
+      core::run_service_trial(core::Protocol::kSt, config, service);
+  config.protocol.scheduler = sim::SchedulerKind::kHeap;
+  const core::ServiceReport heap =
+      core::run_service_trial(core::Protocol::kSt, config, service);
+  ASSERT_TRUE(wheel.ok() && heap.ok());
+  EXPECT_TRUE(wheel.metrics == heap.metrics)
+      << "service runs must be scheduler-backend independent";
+  // Only the arena probe may differ: the reference heap has no arena.
+  EXPECT_GT(wheel.arena_capacity, 0u);
+  EXPECT_EQ(heap.arena_capacity, 0u);
+}
+
+TEST(ServiceMode, RejectsPlansEndingBeforeHorizon) {
+  core::ScenarioConfig config = soak_scenario();
+  config.protocol.faults.churn_stop_ms = 4'000.0;
+  const core::ServiceReport report =
+      core::run_service_trial(core::Protocol::kSt, config, short_soak());
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.error.find("churn stops"), std::string::npos) << report.error;
+  EXPECT_EQ(report.windows, 0u) << "a rejected soak must not run";
+}
+
+TEST(ServiceMode, RejectsMobilityAndBadConfig) {
+  core::ScenarioConfig config = soak_scenario();
+  config.protocol.mobility_speed_mps = 1.5;
+  EXPECT_FALSE(core::run_service_trial(core::Protocol::kSt, config, short_soak()).ok());
+
+  core::ServiceConfig bad = short_soak();
+  bad.window_slots = 0;
+  EXPECT_FALSE(core::run_service_trial(core::Protocol::kSt, soak_scenario(), bad).ok());
+}
+
+TEST(SoakRecorder, RingDropsOldestAndCountsIt) {
+  sim::SoakRecorder recorder(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    sim::SoakWindow w;
+    w.index = i;
+    recorder.push(w);
+  }
+  EXPECT_EQ(recorder.emitted(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  EXPECT_EQ(recorder.buffered(), 4u);
+  std::vector<std::uint64_t> seen;
+  recorder.drain([&](const sim::SoakWindow& w) { seen.push_back(w.index); });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{6, 7, 8, 9}));
+  EXPECT_EQ(recorder.buffered(), 0u);
+}
+
+TEST(SoakRecorder, StreamingConsumerNeverDrops) {
+  sim::SoakRecorder recorder(2);
+  std::vector<std::uint64_t> seen;
+  recorder.set_consumer([&](const sim::SoakWindow& w) { seen.push_back(w.index); });
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    sim::SoakWindow w;
+    w.index = i;
+    recorder.push(w);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.buffered(), 0u);
+}
+
+}  // namespace

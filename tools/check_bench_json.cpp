@@ -1,7 +1,17 @@
-// check_bench_json — schema validator for firefly-bench-v1 JSONL files.
+// check_bench_json — schema validator for firefly-bench-v1 and
+// firefly-soak-v1 JSONL files.
 //
 //   check_bench_json <file.json> [--require-series]
 //                    [--baseline <baseline.json>] [--max-regress <pct>]
+//
+// The schema is auto-detected from line 1.  A firefly-soak-v1 file (written
+// by `firefly_cli --service --soak-out`) is validated structurally instead:
+//   * line 1 is the soak meta record: git_sha, compiler, protocol plus
+//     numeric n, duration_slots and window_slots,
+//   * every further line is a "window" record or the single trailing
+//     "summary" record, and nothing follows the summary,
+//   * at least one window was emitted.
+// --require-series and --baseline apply only to bench files.
 //
 // Used by CI (and by hand) to gate the machine-readable bench output
 // without pulling in python or a JSON library: a small recursive-descent
@@ -252,6 +262,72 @@ bool validate_file(const std::string& path, bool require_series,
   return true;
 }
 
+/// Structural validation of a firefly-soak-v1 stream (see the file comment).
+bool validate_soak_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t windows = 0;
+  bool summary_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) { fail(path, line_no, "empty line"); return false; }
+    LineParser parser(line);
+    if (!parser.parse()) { fail(path, line_no, "not a valid JSON object"); return false; }
+    if (line_no == 1) {
+      if (parser.string_value("schema") != "firefly-soak-v1") {
+        fail(path, line_no, "meta record missing schema \"firefly-soak-v1\"");
+        return false;
+      }
+      for (const char* key : {"git_sha", "compiler", "protocol"})
+        if (!parser.has_key(key)) {
+          fail(path, line_no, std::string("soak meta record missing \"") + key + "\"");
+          return false;
+        }
+      for (const char* key : {"n", "duration_slots", "window_slots"}) {
+        double v = 0.0;
+        if (!parser.number_value(key, &v) || v <= 0.0) {
+          fail(path, line_no,
+               std::string("soak meta record missing positive numeric \"") + key + "\"");
+          return false;
+        }
+      }
+      continue;
+    }
+    if (summary_seen) {
+      fail(path, line_no, "record after the summary record");
+      return false;
+    }
+    if (parser.has_key("window")) {
+      ++windows;
+    } else if (parser.has_key("summary")) {
+      summary_seen = true;
+    } else {
+      fail(path, line_no, "soak record is neither a \"window\" nor the \"summary\"");
+      return false;
+    }
+  }
+  if (line_no == 0) { fail(path, 1, "file is empty"); return false; }
+  if (windows == 0) { fail(path, line_no, "soak stream has no window records"); return false; }
+  std::cout << path << ": OK (firefly-soak-v1, " << windows << " windows, summary "
+            << (summary_seen ? "present" : "absent — soak interrupted?") << ")\n";
+  return true;
+}
+
+/// Schema tag from a file's first line ("" when unreadable/invalid).
+std::string peek_schema(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  if (!in || !std::getline(in, line)) return {};
+  LineParser parser(line);
+  if (!parser.parse()) return {};
+  return parser.string_value("schema");
+}
+
 int usage() {
   std::cerr << "usage: check_bench_json <file.json> [--require-series]\n"
             << "                        [--baseline <baseline.json>] [--max-regress <pct>]\n";
@@ -284,6 +360,15 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage();
+
+  if (peek_schema(path) == "firefly-soak-v1") {
+    if (require_series || !baseline_path.empty()) {
+      std::cerr << path << ": --require-series/--baseline do not apply to "
+                << "firefly-soak-v1 files\n";
+      return 2;
+    }
+    return validate_soak_file(path) ? 0 : 1;
+  }
 
   std::map<long, double> ratios;
   std::size_t records = 0, series = 0;
