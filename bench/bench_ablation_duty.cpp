@@ -2,7 +2,8 @@
 // behind the paper's references [4]–[9] (Birthday protocols, Disco,
 // U-Connect, ALOHA-like discovery).
 //
-// ST runs on the Table I network with receivers awake only a fraction of
+// The axis protocols (default ST; override with FIREFLY_BENCH_PROTOCOLS)
+// run on the Table I network with receivers awake only a fraction of
 // each period.  The bench charts the three-way trade: convergence latency,
 // energy rate while running, and total energy to convergence — including
 // the regime boundary where the strict sustained-global-alignment
@@ -19,42 +20,46 @@ int main(int argc, char** argv) {
   using util::Table;
 
   bench::BenchJson json("ablation_duty", &argc, argv);
-  json.write_meta();
+  const std::vector<core::Protocol> protocols =
+      bench::bench_protocols({core::Protocol::kSt});
+  json.write_meta(protocols);
 
-  std::cout << "Duty-cycle ablation: ST on 30 devices, Table I box, 2 seeds/point\n";
+  std::cout << "Duty-cycle ablation: 30 devices, Table I box, 2 seeds/point\n";
 
   Table table("Receiver duty cycle vs convergence and energy");
-  table.set_headers({"awake %", "converged", "time (ms)", "energy rate (mJ/s/dev)",
-                     "energy to conv (mJ/dev)"});
-  for (const std::uint32_t awake : {100U, 80U, 60U, 50U, 40U, 30U, 20U}) {
-    double time_sum = 0.0, rate_sum = 0.0, energy_sum = 0.0;
-    int converged = 0;
-    const int trials = 2;
-    for (int t = 0; t < trials; ++t) {
-      core::ScenarioConfig config;
-      config.n = 30;
-      config.seed = 140 + static_cast<std::uint64_t>(t);
-      config.area_policy = core::AreaPolicy::kFixed;
-      config.protocol.max_periods = 1000;
-      if (awake < 100) {
-        config.protocol.duty_awake_slots = awake;
-        config.protocol.duty_period_slots = 100;
+  table.set_headers({"protocol", "awake %", "converged", "time (ms)",
+                     "energy rate (mJ/s/dev)", "energy to conv (mJ/dev)"});
+  for (const core::Protocol protocol : protocols) {
+    for (const std::uint32_t awake : {100U, 80U, 60U, 50U, 40U, 30U, 20U}) {
+      double time_sum = 0.0, rate_sum = 0.0, energy_sum = 0.0;
+      int converged = 0;
+      const int trials = 2;
+      for (int t = 0; t < trials; ++t) {
+        core::ScenarioConfig config;
+        config.n = 30;
+        config.seed = 140 + static_cast<std::uint64_t>(t);
+        config.area_policy = core::AreaPolicy::kFixed;
+        config.protocol.max_periods = 1000;
+        if (awake < 100) {
+          config.protocol.duty_awake_slots = awake;
+          config.protocol.duty_period_slots = 100;
+        }
+        const auto m = core::run_trial(protocol, config);
+        rate_sum += m.mean_device_energy_mj / (m.simulated_ms * 1e-3);
+        if (m.converged) {
+          ++converged;
+          time_sum += m.convergence_ms;
+          energy_sum += m.mean_device_energy_mj;
+        }
       }
-      const auto m = core::run_trial(core::Protocol::kSt, config);
-      rate_sum += m.mean_device_energy_mj / (m.simulated_ms * 1e-3);
-      if (m.converged) {
-        ++converged;
-        time_sum += m.convergence_ms;
-        energy_sum += m.mean_device_energy_mj;
-      }
+      table.add_row(
+          {core::to_string(protocol), Table::num(static_cast<std::size_t>(awake)),
+           Table::num(static_cast<std::size_t>(converged)) + "/" +
+               Table::num(static_cast<std::size_t>(trials)),
+           converged > 0 ? Table::num(time_sum / converged, 0) : "-",
+           Table::num(rate_sum / trials, 2),
+           converged > 0 ? Table::num(energy_sum / converged, 1) : "-"});
     }
-    table.add_row(
-        {Table::num(static_cast<std::size_t>(awake)),
-         Table::num(static_cast<std::size_t>(converged)) + "/" +
-             Table::num(static_cast<std::size_t>(trials)),
-         converged > 0 ? Table::num(time_sum / converged, 0) : "-",
-         Table::num(rate_sum / trials, 2),
-         converged > 0 ? Table::num(energy_sum / converged, 1) : "-"});
   }
   table.print(std::cout);
   table.write_csv("ablation_duty.csv");

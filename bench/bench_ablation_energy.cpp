@@ -4,7 +4,9 @@
 // driven by the energy cost of discovery.  This extension bench charges
 // every transmitted PS slot at 700 mW, every decoded PS slot at 300 mW and
 // idle RACH monitoring at 10 mW, and reports millijoules per device until
-// convergence across scales — the battery-life reading of Figs. 3 and 4.
+// convergence across scales — the battery-life reading of Figs. 3 and 4 —
+// for every protocol on the axis (default FST + ST; override with
+// FIREFLY_BENCH_PROTOCOLS).
 #include <algorithm>
 #include <iostream>
 
@@ -23,34 +25,29 @@ int main(int argc, char** argv) {
   // Energy separates clearly by N=600; trim the largest step for runtime.
   if (!config.ns.empty() && config.ns.back() == 1000) config.ns.pop_back();
   const int trials = static_cast<int>(std::max<std::size_t>(1, config.trials - 1));
+  const std::vector<core::Protocol> protocols =
+      bench::bench_protocols({core::Protocol::kFst, core::Protocol::kSt});
 
   Table table("Mean energy per device until convergence (mJ)");
-  table.set_headers({"nodes", "FST (mJ)", "ST (mJ)", "FST/ST", "FST mJ/neighbor",
-                     "ST mJ/neighbor"});
-  for (const std::size_t n : config.ns) {
-    double fst_mj = 0.0, st_mj = 0.0, fst_per = 0.0, st_per = 0.0;
-    for (int t = 0; t < trials; ++t) {
-      core::ScenarioConfig scenario = config.base;
-      scenario.n = n;
-      scenario.seed = 9000 + n * 31 + static_cast<std::uint64_t>(t);
-      const auto f = core::run_trial(core::Protocol::kFst, scenario);
-      const auto s = core::run_trial(core::Protocol::kSt, scenario);
-      fst_mj += f.mean_device_energy_mj;
-      st_mj += s.mean_device_energy_mj;
-      fst_per += f.energy_per_neighbor_mj;
-      st_per += s.energy_per_neighbor_mj;
+  table.set_headers({"protocol", "nodes", "mJ/device", "mJ/neighbor"});
+  for (const core::Protocol protocol : protocols) {
+    for (const std::size_t n : config.ns) {
+      double mj = 0.0, per = 0.0;
+      for (int t = 0; t < trials; ++t) {
+        core::ScenarioConfig scenario = config.base;
+        scenario.n = n;
+        scenario.seed = 9000 + n * 31 + static_cast<std::uint64_t>(t);
+        const auto m = core::run_trial(protocol, scenario);
+        mj += m.mean_device_energy_mj;
+        per += m.energy_per_neighbor_mj;
+      }
+      table.add_row({core::to_string(protocol), Table::num(n), Table::num(mj / trials, 2),
+                     Table::num(per / trials, 3)});
     }
-    fst_mj /= trials;
-    st_mj /= trials;
-    fst_per /= trials;
-    st_per /= trials;
-    table.add_row({Table::num(n), Table::num(fst_mj, 2), Table::num(st_mj, 2),
-                   Table::num(fst_mj / std::max(st_mj, 1e-9), 2), Table::num(fst_per, 3),
-                   Table::num(st_per, 3)});
   }
   table.print(std::cout);
   table.write_csv("ablation_energy.csv");
-  json.write_meta(config);
+  json.write_meta(config, protocols);
   json.write_table(table, "energy");
 
   std::cout << "\nReading: a genuine crossover.  At small scale ST costs MORE energy —\n"

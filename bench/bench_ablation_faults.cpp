@@ -1,5 +1,6 @@
 // bench_ablation_faults — resilience curves for the fault-injection
-// subsystem: how gracefully ST and the FST baseline degrade under node
+// subsystem: how gracefully the protocols on the axis (default ST and the
+// FST baseline; override with FIREFLY_BENCH_PROTOCOLS) degrade under node
 // churn, oscillator drift and i.i.d. packet loss, each swept separately so
 // the degradation observables (re-convergence, sync uptime, resync time,
 // repair traffic) attribute to one fault class at a time.
@@ -66,25 +67,28 @@ std::string frac(int num, int den) {
          util::Table::num(static_cast<std::size_t>(den));
 }
 
-void add_rows(util::Table& table, const std::string& level, const Cell& st, const Cell& fst) {
-  auto row = [&](const char* proto, const Cell& c) {
-    table.add_row({level, proto, frac(c.converged, c.trials),
+void add_rows(util::Table& table, const std::string& level,
+              const std::vector<core::Protocol>& protocols,
+              const std::vector<core::ScenarioConfig>& configs, util::ThreadPool& pool) {
+  for (const core::Protocol protocol : protocols) {
+    const Cell c = run_cell(protocol, configs, pool);
+    table.add_row({level, core::to_string(protocol), frac(c.converged, c.trials),
                    util::Table::num(c.uptime_sum / c.trials, 3),
                    util::Table::num(c.resync_sum / c.trials, 0),
                    util::Table::num(static_cast<std::size_t>(c.repair_sum / c.trials)),
                    util::Table::num(c.crashes_sum / c.trials, 1),
                    util::Table::num(static_cast<std::size_t>(c.drops_sum / c.trials)),
                    frac(c.partitioned, c.trials)});
-  };
-  row("ST", st);
-  row("FST", fst);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchJson json("ablation_faults", &argc, argv);
-  json.write_meta();
+  const std::vector<core::Protocol> protocols =
+      bench::bench_protocols({core::Protocol::kSt, core::Protocol::kFst});
+  json.write_meta(protocols);
 
   const std::size_t trials = bench::env_or("FIREFLY_BENCH_TRIALS", 3);
   std::cout << "Fault-resilience ablation: 30 devices, Table I box, " << trials
@@ -114,9 +118,8 @@ int main(int argc, char** argv) {
       plan.mean_downtime_ms = 2'000.0;
       plan.churn_stop_ms = 0.6 * static_cast<double>(config.protocol.max_slots());
     });
-    add_rows(table, "churn " + util::Table::num(rate, 0) + "/min",
-             run_cell(core::Protocol::kSt, configs, pool),
-             run_cell(core::Protocol::kFst, configs, pool));
+    add_rows(table, "churn " + util::Table::num(rate, 0) + "/min", protocols, configs,
+             pool);
   }
 
   // --- oscillator drift ---
@@ -125,9 +128,8 @@ int main(int argc, char** argv) {
         [ppm](fault::FaultPlan& plan, const core::ScenarioConfig&) {
           plan.drift_max_ppm = ppm;
         });
-    add_rows(table, "drift " + util::Table::num(ppm, 0) + " ppm",
-             run_cell(core::Protocol::kSt, configs, pool),
-             run_cell(core::Protocol::kFst, configs, pool));
+    add_rows(table, "drift " + util::Table::num(ppm, 0) + " ppm", protocols, configs,
+             pool);
   }
 
   // --- i.i.d. packet loss ---
@@ -136,9 +138,8 @@ int main(int argc, char** argv) {
         [p](fault::FaultPlan& plan, const core::ScenarioConfig&) {
           plan.drop_probability = p;
         });
-    add_rows(table, "drop " + util::Table::num(100.0 * p, 0) + "%",
-             run_cell(core::Protocol::kSt, configs, pool),
-             run_cell(core::Protocol::kFst, configs, pool));
+    add_rows(table, "drop " + util::Table::num(100.0 * p, 0) + "%", protocols, configs,
+             pool);
   }
 
   // --- deep fades ---
@@ -148,9 +149,8 @@ int main(int argc, char** argv) {
           plan.fade_rate_per_min = rate;
           plan.fade_mean_duration_ms = 500.0;
         });
-    add_rows(table, "fades " + util::Table::num(rate, 0) + "/min",
-             run_cell(core::Protocol::kSt, configs, pool),
-             run_cell(core::Protocol::kFst, configs, pool));
+    add_rows(table, "fades " + util::Table::num(rate, 0) + "/min", protocols, configs,
+             pool);
   }
 
   table.print(std::cout);

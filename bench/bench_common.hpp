@@ -4,9 +4,12 @@
 // describes — device counts from 50 to 1000 at the Table I density, several
 // Monte-Carlo seeds — and prints the series the figure plots.  Environment
 // variables trim the sweep for quick runs:
-//   FIREFLY_BENCH_TRIALS    (default 3)
-//   FIREFLY_BENCH_MAX_N     (default 1000)
-//   FIREFLY_BENCH_PROGRESS  (set to anything for a stderr ETA line)
+//   FIREFLY_BENCH_TRIALS     (default 3)
+//   FIREFLY_BENCH_MAX_N      (default 1000)
+//   FIREFLY_BENCH_PROGRESS   (set to anything for a stderr ETA line)
+//   FIREFLY_BENCH_PROTOCOLS  (comma-separated registry names, or "all":
+//                            override the bench's default protocol axis;
+//                            unknown names abort — see bench_protocols)
 //
 // Every bench also emits a machine-readable JSONL snapshot when asked:
 //   bench_fig3 --json fig3.json     # or FIREFLY_BENCH_JSON=fig3.json
@@ -30,6 +33,7 @@
 #include "obs/build_info.hpp"
 #include "obs/json.hpp"
 #include "obs/progress.hpp"
+#include "proto/registry.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
@@ -39,6 +43,43 @@ namespace firefly::bench {
 /// one-time stderr warning and the fallback is used (see util::env_size_t).
 inline std::size_t env_or(const char* name, std::size_t fallback) {
   return util::env_size_t(name, fallback);
+}
+
+/// The protocol axis of a bench: the bench's own default set, overridden by
+/// FIREFLY_BENCH_PROTOCOLS — a comma-separated list of registry names, or
+/// "all" for every registered backend.  Unknown names abort with the
+/// registered list (a typo must not silently bench the defaults).
+inline std::vector<core::Protocol> bench_protocols(
+    std::initializer_list<core::Protocol> fallback) {
+  const proto::Registry& registry = proto::Registry::instance();
+  const char* env = std::getenv("FIREFLY_BENCH_PROTOCOLS");
+  if (env == nullptr || *env == '\0') return std::vector<core::Protocol>(fallback);
+  std::vector<core::Protocol> selected;
+  std::string_view list(env);
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    const std::string_view name = list.substr(0, comma);
+    list = comma == std::string_view::npos ? std::string_view() : list.substr(comma + 1);
+    if (name.empty()) continue;
+    if (name == "all") {
+      selected.clear();
+      for (const std::string& registered : registry.names()) {
+        selected.push_back(registry.find(registered)->id);
+      }
+      return selected;
+    }
+    const proto::ProtocolInfo* info = registry.find(name);
+    if (info == nullptr) {
+      std::cerr << "FIREFLY_BENCH_PROTOCOLS: unknown protocol '" << name
+                << "' (registered:";
+      for (const std::string& registered : registry.names()) std::cerr << ' ' << registered;
+      std::cerr << "; or \"all\")\n";
+      std::exit(2);
+    }
+    selected.push_back(info->id);
+  }
+  if (selected.empty()) return std::vector<core::Protocol>(fallback);
+  return selected;
 }
 
 /// Machine-readable JSONL output for a bench binary.
@@ -85,32 +126,16 @@ class BenchJson {
   [[nodiscard]] const std::string& path() const { return path_; }
 
   /// First line of the file: schema + provenance (benches without a sweep).
-  void write_meta() {
-    if (!out_.is_open()) return;
-    obs::JsonWriter w(out_);
-    w.begin_object();
-    w.field("schema", "firefly-bench-v1");
-    w.field("bench", std::string_view(bench_));
-    obs::write_build_info_fields(w);
-    w.end_object();
-    out_ << '\n';
+  /// Overloads append the sweep shape and/or the protocol axis (display
+  /// ids, the values the records' "protocol" fields draw from).
+  void write_meta() { write_meta_impl(nullptr, nullptr); }
+  void write_meta(const std::vector<core::Protocol>& protocols) {
+    write_meta_impl(nullptr, &protocols);
   }
-
-  /// First line of the file: schema + provenance + sweep shape.
-  void write_meta(const core::SweepConfig& config) {
-    if (!out_.is_open()) return;
-    obs::JsonWriter w(out_);
-    w.begin_object();
-    w.field("schema", "firefly-bench-v1");
-    w.field("bench", std::string_view(bench_));
-    obs::write_build_info_fields(w);
-    w.field("trials", static_cast<std::uint64_t>(config.trials));
-    w.field("master_seed", config.master_seed);
-    w.key("ns").begin_array();
-    for (const std::size_t n : config.ns) w.value(static_cast<std::uint64_t>(n));
-    w.end_array();
-    w.end_object();
-    out_ << '\n';
+  void write_meta(const core::SweepConfig& config) { write_meta_impl(&config, nullptr); }
+  void write_meta(const core::SweepConfig& config,
+                  const std::vector<core::Protocol>& protocols) {
+    write_meta_impl(&config, &protocols);
   }
 
   /// One JSONL record per sweep point.
@@ -159,6 +184,30 @@ class BenchJson {
   }
 
  private:
+  void write_meta_impl(const core::SweepConfig* config,
+                       const std::vector<core::Protocol>* protocols) {
+    if (!out_.is_open()) return;
+    obs::JsonWriter w(out_);
+    w.begin_object();
+    w.field("schema", "firefly-bench-v1");
+    w.field("bench", std::string_view(bench_));
+    obs::write_build_info_fields(w);
+    if (config != nullptr) {
+      w.field("trials", static_cast<std::uint64_t>(config->trials));
+      w.field("master_seed", config->master_seed);
+      w.key("ns").begin_array();
+      for (const std::size_t n : config->ns) w.value(static_cast<std::uint64_t>(n));
+      w.end_array();
+    }
+    if (protocols != nullptr) {
+      w.key("protocols").begin_array();
+      for (const core::Protocol p : *protocols) w.value(core::to_string(p));
+      w.end_array();
+    }
+    w.end_object();
+    out_ << '\n';
+  }
+
   std::string bench_;
   std::string path_;
   std::ofstream out_;
@@ -177,24 +226,38 @@ inline core::SweepConfig paper_sweep() {
   return config;
 }
 
-/// Runs both protocols over the paper sweep.
-struct PaperSweepResult {
-  std::vector<core::SweepPoint> fst;
-  std::vector<core::SweepPoint> st;
+/// One protocol's series over a sweep — the unit of the generic axis.
+struct ProtocolSeries {
+  core::Protocol protocol;
+  std::vector<core::SweepPoint> points;
 };
 
-inline PaperSweepResult run_paper_sweep() {
+/// Runs each protocol of the axis over the paper sweep, in axis order.
+inline std::vector<ProtocolSeries> run_paper_sweep(
+    const std::vector<core::Protocol>& protocols) {
   core::SweepConfig config = paper_sweep();
   std::optional<obs::ProgressReporter> progress;
   if (std::getenv("FIREFLY_BENCH_PROGRESS") != nullptr) {
-    progress.emplace("sweep", 2 * config.total_trials());
+    progress.emplace("sweep", protocols.size() * config.total_trials());
     config.hooks.progress = &*progress;
   }
-  PaperSweepResult result;
-  result.fst = core::sweep(core::Protocol::kFst, config);
-  result.st = core::sweep(core::Protocol::kSt, config);
+  std::vector<ProtocolSeries> result;
+  result.reserve(protocols.size());
+  for (const core::Protocol protocol : protocols) {
+    result.push_back({protocol, core::sweep(protocol, config)});
+  }
   if (progress) progress->finish();
   return result;
+}
+
+/// The series of one protocol within a sweep result; nullptr when the axis
+/// did not include it (benches print comparison tables only when both
+/// sides ran).
+inline const std::vector<core::SweepPoint>* find_series(
+    const std::vector<ProtocolSeries>& sweep, core::Protocol protocol) {
+  for (const ProtocolSeries& series : sweep)
+    if (series.protocol == protocol) return &series.points;
+  return nullptr;
 }
 
 }  // namespace firefly::bench

@@ -6,10 +6,13 @@
 // proposed ST method wins increasingly.
 //
 // This bench sweeps N ∈ {50..1000} at the Table I density (area scales with
-// N), runs both protocols over several seeds, and prints convergence time
-// (time until sustained global firing alignment AND complete neighbour
+// N), runs the protocol axis (default FST + ST; override with
+// FIREFLY_BENCH_PROTOCOLS, e.g. "fst,st,desync") over several seeds, and
+// prints convergence time (time until each protocol's own completion
+// criterion holds — sustained global firing alignment AND complete neighbour
 // discovery; for ST additionally a spanning fragment, per Algorithm 1's
-// termination).  A CSV lands next to the binary for replotting.
+// termination; for DESYNC a sustained balanced round-robin schedule).
+// A CSV lands next to the binary for replotting.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -21,53 +24,57 @@ int main(int argc, char** argv) {
 
   bench::BenchJson json("fig3_convergence", &argc, argv);
 
+  const std::vector<core::Protocol> protocols =
+      bench::bench_protocols({core::Protocol::kFst, core::Protocol::kSt});
   std::cout << "Reproducing Fig. 3: convergence time vs number of nodes\n"
             << "(Table I scenario, density-scaled area, "
             << bench::paper_sweep().trials << " seeds per point)\n";
 
-  const bench::PaperSweepResult sweep = bench::run_paper_sweep();
+  const std::vector<bench::ProtocolSeries> sweep = bench::run_paper_sweep(protocols);
   if (json) {
-    json.write_meta(bench::paper_sweep());
-    json.write_series(core::Protocol::kFst, sweep.fst);
-    json.write_series(core::Protocol::kSt, sweep.st);
+    json.write_meta(bench::paper_sweep(), protocols);
+    for (const bench::ProtocolSeries& series : sweep) {
+      json.write_series(series.protocol, series.points);
+    }
   }
 
   Table table("Fig. 3 — convergence time (ms)");
-  table.set_headers({"nodes", "FST mean", "FST ci95", "ST mean", "ST ci95",
-                     "ST speedup", "FST fail%", "ST fail%"});
-  for (std::size_t i = 0; i < sweep.fst.size(); ++i) {
-    const auto& f = sweep.fst[i];
-    const auto& s = sweep.st[i];
-    const double speedup =
-        s.convergence_ms.mean() > 0.0 ? f.convergence_ms.mean() / s.convergence_ms.mean()
-                                      : 0.0;
-    table.add_row({Table::num(f.n), Table::num(f.convergence_ms.mean(), 1),
-                   Table::num(f.convergence_ms.ci95_halfwidth(), 1),
-                   Table::num(s.convergence_ms.mean(), 1),
-                   Table::num(s.convergence_ms.ci95_halfwidth(), 1),
-                   Table::num(speedup, 2) + "x", Table::num(f.failure_rate * 100.0, 0),
-                   Table::num(s.failure_rate * 100.0, 0)});
+  table.set_headers({"protocol", "nodes", "mean", "ci95", "fail%"});
+  for (const bench::ProtocolSeries& series : sweep) {
+    for (const core::SweepPoint& point : series.points) {
+      table.add_row({core::to_string(series.protocol), Table::num(point.n),
+                     Table::num(point.convergence_ms.mean(), 1),
+                     Table::num(point.convergence_ms.ci95_halfwidth(), 1),
+                     Table::num(point.failure_rate * 100.0, 0)});
+    }
   }
   table.print(std::cout);
   table.write_csv("fig3_convergence.csv");
 
-  // Shape verdicts the paper's figure carries.
-  const auto& f_first = sweep.fst.front();
-  const auto& f_last = sweep.fst.back();
-  const auto& s_first = sweep.st.front();
-  const auto& s_last = sweep.st.back();
-  const double small_ratio = f_first.convergence_ms.mean() /
-                             std::max(1.0, s_first.convergence_ms.mean());
-  const double large_ratio = f_last.convergence_ms.mean() /
-                             std::max(1.0, s_last.convergence_ms.mean());
-  std::cout << "\nShape check (paper: comparable at small N, ST increasingly "
-               "better at scale):\n"
-            << "  FST/ST time ratio at N=" << f_first.n << ": " << small_ratio << "\n"
-            << "  FST/ST time ratio at N=" << f_last.n << ": " << large_ratio << "\n"
-            << "  ST advantage grows with scale: "
-            << (large_ratio > small_ratio ? "YES" : "NO") << "\n"
-            << "  FST convergence time grows with N: "
-            << (f_last.convergence_ms.mean() > f_first.convergence_ms.mean() ? "YES" : "NO")
-            << "\n(CSV written to fig3_convergence.csv)\n";
+  // Shape verdicts the paper's figure carries — meaningful only when both
+  // sides of the figure's comparison are on the axis.
+  const auto* fst = bench::find_series(sweep, core::Protocol::kFst);
+  const auto* st = bench::find_series(sweep, core::Protocol::kSt);
+  if (fst != nullptr && st != nullptr && !fst->empty() && !st->empty()) {
+    const auto& f_first = fst->front();
+    const auto& f_last = fst->back();
+    const auto& s_first = st->front();
+    const auto& s_last = st->back();
+    const double small_ratio = f_first.convergence_ms.mean() /
+                               std::max(1.0, s_first.convergence_ms.mean());
+    const double large_ratio = f_last.convergence_ms.mean() /
+                               std::max(1.0, s_last.convergence_ms.mean());
+    std::cout << "\nShape check (paper: comparable at small N, ST increasingly "
+                 "better at scale):\n"
+              << "  FST/ST time ratio at N=" << f_first.n << ": " << small_ratio << "\n"
+              << "  FST/ST time ratio at N=" << f_last.n << ": " << large_ratio << "\n"
+              << "  ST advantage grows with scale: "
+              << (large_ratio > small_ratio ? "YES" : "NO") << "\n"
+              << "  FST convergence time grows with N: "
+              << (f_last.convergence_ms.mean() > f_first.convergence_ms.mean() ? "YES"
+                                                                               : "NO")
+              << '\n';
+  }
+  std::cout << "(CSV written to fig3_convergence.csv)\n";
   return 0;
 }

@@ -7,8 +7,9 @@
 // to converge.
 //
 // Messages are counted at the radio medium — every RACH1/RACH2 broadcast by
-// any device until the convergence instant — so both protocols are measured
-// by the same meter.
+// any device until the convergence instant — so every protocol on the axis
+// (default FST + ST; override with FIREFLY_BENCH_PROTOCOLS) is measured by
+// the same meter.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -20,51 +21,66 @@ int main(int argc, char** argv) {
 
   bench::BenchJson json("fig4_messages", &argc, argv);
 
+  const std::vector<core::Protocol> protocols =
+      bench::bench_protocols({core::Protocol::kFst, core::Protocol::kSt});
   std::cout << "Reproducing Fig. 4: messages exchanged until convergence vs nodes\n"
             << "(Table I scenario, density-scaled area, "
             << bench::paper_sweep().trials << " seeds per point)\n";
 
-  const bench::PaperSweepResult sweep = bench::run_paper_sweep();
+  const std::vector<bench::ProtocolSeries> sweep = bench::run_paper_sweep(protocols);
   if (json) {
-    json.write_meta(bench::paper_sweep());
-    json.write_series(core::Protocol::kFst, sweep.fst);
-    json.write_series(core::Protocol::kSt, sweep.st);
+    json.write_meta(bench::paper_sweep(), protocols);
+    for (const bench::ProtocolSeries& series : sweep) {
+      json.write_series(series.protocol, series.points);
+    }
   }
 
   Table table("Fig. 4 — average messages exchanged until convergence");
-  table.set_headers({"nodes", "FST total", "ST total", "ST RACH1", "ST RACH2",
-                     "FST/ST", "FST collisions", "ST collisions"});
-  std::size_t crossover_n = 0;
-  for (std::size_t i = 0; i < sweep.fst.size(); ++i) {
-    const auto& f = sweep.fst[i];
-    const auto& s = sweep.st[i];
-    const double ratio =
-        s.total_messages.mean() > 0.0 ? f.total_messages.mean() / s.total_messages.mean()
-                                      : 0.0;
-    if (crossover_n == 0 && ratio > 1.0) crossover_n = f.n;
-    table.add_row({Table::num(f.n), Table::num(f.total_messages.mean(), 0),
-                   Table::num(s.total_messages.mean(), 0),
-                   Table::num(s.rach1_messages.mean(), 0),
-                   Table::num(s.rach2_messages.mean(), 0), Table::num(ratio, 2),
-                   Table::num(f.collisions.mean(), 0), Table::num(s.collisions.mean(), 0)});
+  table.set_headers({"protocol", "nodes", "total", "RACH1", "RACH2", "collisions"});
+  for (const bench::ProtocolSeries& series : sweep) {
+    for (const core::SweepPoint& point : series.points) {
+      table.add_row({core::to_string(series.protocol), Table::num(point.n),
+                     Table::num(point.total_messages.mean(), 0),
+                     Table::num(point.rach1_messages.mean(), 0),
+                     Table::num(point.rach2_messages.mean(), 0),
+                     Table::num(point.collisions.mean(), 0)});
+    }
   }
   table.print(std::cout);
   table.write_csv("fig4_messages.csv");
 
-  const auto& f_first = sweep.fst.front();
-  const auto& f_last = sweep.fst.back();
-  const auto& s_first = sweep.st.front();
-  const auto& s_last = sweep.st.back();
-  std::cout << "\nShape check (paper: both grow with N; ST more efficient from "
-               "mid scale on):\n"
-            << "  FST messages grow with N: "
-            << (f_last.total_messages.mean() > f_first.total_messages.mean() ? "YES" : "NO")
-            << "\n  ST messages grow with N: "
-            << (s_last.total_messages.mean() > s_first.total_messages.mean() ? "YES" : "NO")
-            << "\n  ST cheaper than FST at N=" << f_last.n << ": "
-            << (s_last.total_messages.mean() < f_last.total_messages.mean() ? "YES" : "NO")
-            << "\n  first sweep point where ST wins: N="
-            << (crossover_n == 0 ? std::string("none") : std::to_string(crossover_n))
-            << " (paper: ~600)\n(CSV written to fig4_messages.csv)\n";
+  // Shape verdicts — meaningful only with both sides of the figure's
+  // FST-vs-ST comparison on the axis.
+  const auto* fst = bench::find_series(sweep, core::Protocol::kFst);
+  const auto* st = bench::find_series(sweep, core::Protocol::kSt);
+  if (fst != nullptr && st != nullptr && !fst->empty() && fst->size() == st->size()) {
+    std::size_t crossover_n = 0;
+    for (std::size_t i = 0; i < fst->size(); ++i) {
+      const double ratio = (*st)[i].total_messages.mean() > 0.0
+                               ? (*fst)[i].total_messages.mean() /
+                                     (*st)[i].total_messages.mean()
+                               : 0.0;
+      if (crossover_n == 0 && ratio > 1.0) crossover_n = (*fst)[i].n;
+    }
+    const auto& f_first = fst->front();
+    const auto& f_last = fst->back();
+    const auto& s_first = st->front();
+    const auto& s_last = st->back();
+    std::cout << "\nShape check (paper: both grow with N; ST more efficient from "
+                 "mid scale on):\n"
+              << "  FST messages grow with N: "
+              << (f_last.total_messages.mean() > f_first.total_messages.mean() ? "YES"
+                                                                               : "NO")
+              << "\n  ST messages grow with N: "
+              << (s_last.total_messages.mean() > s_first.total_messages.mean() ? "YES"
+                                                                               : "NO")
+              << "\n  ST cheaper than FST at N=" << f_last.n << ": "
+              << (s_last.total_messages.mean() < f_last.total_messages.mean() ? "YES"
+                                                                              : "NO")
+              << "\n  first sweep point where ST wins: N="
+              << (crossover_n == 0 ? std::string("none") : std::to_string(crossover_n))
+              << " (paper: ~600)\n";
+  }
+  std::cout << "(CSV written to fig4_messages.csv)\n";
   return 0;
 }

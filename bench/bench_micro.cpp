@@ -1,7 +1,10 @@
 // bench_micro — engine-cost microbenchmarks: the event queue, union-find,
-// reference MSTs, PRC evaluation, oscillator updates and a radio slot flush.
-// These pin the constants behind the protocol-level numbers and catch
-// performance regressions in the substrates.
+// reference MSTs, PRC evaluation, oscillator updates, a radio slot flush
+// and one end-to-end trial per registered protocol backend (the registry
+// sweep is assembled at startup, so a newly registered protocol shows up
+// here without editing this file).  These pin the constants behind the
+// protocol-level numbers and catch performance regressions in the
+// substrates.
 //
 // Machine-readable output: this bench is pure google-benchmark, so it keeps
 // the native reporter (`--benchmark_format=json --benchmark_out=...`) rather
@@ -11,8 +14,12 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/engine.hpp"
+#include "core/scenario.hpp"
 #include "graph/boruvka.hpp"
 #include "graph/mst.hpp"
 #include "graph/union_find.hpp"
@@ -20,6 +27,7 @@
 #include "pco/oscillator.hpp"
 #include "pco/prc.hpp"
 #include "phy/channel.hpp"
+#include "proto/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/slot_calendar.hpp"
@@ -241,6 +249,33 @@ void BM_RadioBatchedDeliverySweep(benchmark::State& state) {
 }
 BENCHMARK(BM_RadioBatchedDeliverySweep)->Arg(32)->Arg(256);
 
+// One full small-network trial through the registry — the cost of a
+// protocol end to end (build, run to its own completion criterion or the
+// horizon), per registered backend.  Registered dynamically in main() from
+// proto::Registry::names().
+void BM_ProtocolTrial(benchmark::State& state, const std::string& name) {
+  for (auto _ : state) {
+    core::ScenarioConfig config;
+    config.n = 30;
+    config.seed = 11;
+    config.area_policy = core::AreaPolicy::kFixed;
+    config.protocol.max_periods = 200;
+    std::unique_ptr<core::EngineBase> engine = proto::Registry::instance().make(
+        name, core::deploy(config), config.protocol, config.radio, config.seed);
+    benchmark::DoNotOptimize(engine->run());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const std::string& name : proto::Registry::instance().names()) {
+    const std::string label = "BM_ProtocolTrial/" + name;
+    benchmark::RegisterBenchmark(label.c_str(), BM_ProtocolTrial, name);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,9 @@
 // bench_scale — scaling benchmark: spatial index × scheduler at large N.
 //
-// Runs the ST protocol at N ∈ {1000, 2000, 5000} (density-scaled area, so
-// the network stays multi-hop) once per trial under three configurations:
+// Runs the protocol axis (default ST, the production protocol; override
+// with FIREFLY_BENCH_PROTOCOLS) at N ∈ {1000, 2000, 5000} (density-scaled
+// area, so the network stays multi-hop) once per trial under three
+// configurations:
 //
 //   dense+heap  — exhaustive O(N²) candidate enumeration, binary-heap
 //                 scheduler: the reference everything is measured against.
@@ -58,7 +60,8 @@ struct TrialResult {
   std::string metrics_json;
 };
 
-TrialResult run_one(std::size_t n, std::size_t trial, const Mode& mode) {
+TrialResult run_one(core::Protocol protocol, std::size_t n, std::size_t trial,
+                    const Mode& mode) {
   core::ScenarioConfig config;
   config.n = n;
   config.seed = util::derive_seed(2015, "bench_scale",
@@ -68,7 +71,7 @@ TrialResult run_one(std::size_t n, std::size_t trial, const Mode& mode) {
 
   TrialResult result;
   const auto start = std::chrono::steady_clock::now();
-  result.metrics = core::run_trial(core::Protocol::kSt, config);
+  result.metrics = core::run_trial(protocol, config);
   const auto stop = std::chrono::steady_clock::now();
   result.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
 
@@ -105,71 +108,76 @@ int main(int argc, char** argv) {
   }
   if (ns.empty()) ns.push_back(max_n);
 
-  json.write_meta();
+  const std::vector<core::Protocol> protocols =
+      bench::bench_protocols({core::Protocol::kSt});
+  json.write_meta(protocols);
 
-  util::Table table("bench_scale — ST wall-clock: dense+heap vs grid+heap vs grid+wheel");
-  table.set_headers({"N", "trials", "dense ms", "grid ms", "wheel ms", "grid/dense",
-                     "wheel/heap", "identical"});
+  util::Table table("bench_scale — wall-clock: dense+heap vs grid+heap vs grid+wheel");
+  table.set_headers({"protocol", "N", "trials", "dense ms", "grid ms", "wheel ms",
+                     "grid/dense", "wheel/heap", "identical"});
 
   bool all_identical = true;
-  for (const std::size_t n : ns) {
-    double mode_ms[3] = {0.0, 0.0, 0.0};
-    bool identical = true;
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-      std::string reference_json;
-      for (std::size_t m = 0; m < 3; ++m) {
-        const Mode& mode = kModes[m];
-        std::cerr << "bench_scale: n=" << n << " mode=" << mode.name
-                  << " trial=" << trial << "..." << std::flush;
-        const TrialResult result = run_one(n, trial, mode);
-        std::cerr << ' ' << util::Table::num(result.wall_ms) << " ms\n";
-        mode_ms[m] += result.wall_ms;
-        json.write_object([&](obs::JsonWriter& w) {
-          w.field("series", "scale");
-          w.field("protocol", "ST");
-          w.field("mode", mode.name);
-          w.field("scheduler", sim::to_string(mode.scheduler));
-          w.field("n", static_cast<std::uint64_t>(n));
-          w.field("trial", static_cast<std::uint64_t>(trial));
-          w.field("wall_ms", result.wall_ms);
-          w.field("converged", result.metrics.converged);
-          w.field("total_messages", result.metrics.total_messages());
-          w.field("deliveries", result.metrics.deliveries);
-        });
-        // Every mode must reproduce the dense+heap reference bit for bit.
-        if (m == 0) {
-          reference_json = result.metrics_json;
-        } else if (result.metrics_json != reference_json) {
-          identical = false;
+  for (const core::Protocol protocol : protocols) {
+    const char* protocol_id = core::to_string(protocol);
+    for (const std::size_t n : ns) {
+      double mode_ms[3] = {0.0, 0.0, 0.0};
+      bool identical = true;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        std::string reference_json;
+        for (std::size_t m = 0; m < 3; ++m) {
+          const Mode& mode = kModes[m];
+          std::cerr << "bench_scale: protocol=" << protocol_id << " n=" << n
+                    << " mode=" << mode.name << " trial=" << trial << "..." << std::flush;
+          const TrialResult result = run_one(protocol, n, trial, mode);
+          std::cerr << ' ' << util::Table::num(result.wall_ms) << " ms\n";
+          mode_ms[m] += result.wall_ms;
+          json.write_object([&](obs::JsonWriter& w) {
+            w.field("series", "scale");
+            w.field("protocol", protocol_id);
+            w.field("mode", mode.name);
+            w.field("scheduler", sim::to_string(mode.scheduler));
+            w.field("n", static_cast<std::uint64_t>(n));
+            w.field("trial", static_cast<std::uint64_t>(trial));
+            w.field("wall_ms", result.wall_ms);
+            w.field("converged", result.metrics.converged);
+            w.field("total_messages", result.metrics.total_messages());
+            w.field("deliveries", result.metrics.deliveries);
+          });
+          // Every mode must reproduce the dense+heap reference bit for bit.
+          if (m == 0) {
+            reference_json = result.metrics_json;
+          } else if (result.metrics_json != reference_json) {
+            identical = false;
+          }
         }
       }
-    }
-    for (double& ms : mode_ms) ms /= static_cast<double>(trials);
-    const double dense_ms = mode_ms[0];
-    const double heap_ms = mode_ms[1];   // grid + heap
-    const double wheel_ms = mode_ms[2];  // grid + wheel
-    const double grid_vs_dense = heap_ms > 0.0 ? dense_ms / heap_ms : 0.0;
-    const double wheel_vs_heap = wheel_ms > 0.0 ? heap_ms / wheel_ms : 0.0;
-    const double speedup = wheel_ms > 0.0 ? dense_ms / wheel_ms : 0.0;
-    all_identical = all_identical && identical;
+      for (double& ms : mode_ms) ms /= static_cast<double>(trials);
+      const double dense_ms = mode_ms[0];
+      const double heap_ms = mode_ms[1];   // grid + heap
+      const double wheel_ms = mode_ms[2];  // grid + wheel
+      const double grid_vs_dense = heap_ms > 0.0 ? dense_ms / heap_ms : 0.0;
+      const double wheel_vs_heap = wheel_ms > 0.0 ? heap_ms / wheel_ms : 0.0;
+      const double speedup = wheel_ms > 0.0 ? dense_ms / wheel_ms : 0.0;
+      all_identical = all_identical && identical;
 
-    json.write_object([&](obs::JsonWriter& w) {
-      w.field("series", "speedup");
-      w.field("protocol", "ST");
-      w.field("n", static_cast<std::uint64_t>(n));
-      w.field("trials", static_cast<std::uint64_t>(trials));
-      w.field("dense_ms", dense_ms);
-      w.field("heap_ms", heap_ms);
-      w.field("wheel_ms", wheel_ms);
-      w.field("grid_vs_dense", grid_vs_dense);
-      w.field("wheel_vs_heap", wheel_vs_heap);
-      w.field("speedup", speedup);
-      w.field("metrics_identical", identical);
-    });
-    table.add_row({util::Table::num(n), util::Table::num(trials),
-                   util::Table::num(dense_ms), util::Table::num(heap_ms),
-                   util::Table::num(wheel_ms), util::Table::num(grid_vs_dense),
-                   util::Table::num(wheel_vs_heap), identical ? "yes" : "NO"});
+      json.write_object([&](obs::JsonWriter& w) {
+        w.field("series", "speedup");
+        w.field("protocol", protocol_id);
+        w.field("n", static_cast<std::uint64_t>(n));
+        w.field("trials", static_cast<std::uint64_t>(trials));
+        w.field("dense_ms", dense_ms);
+        w.field("heap_ms", heap_ms);
+        w.field("wheel_ms", wheel_ms);
+        w.field("grid_vs_dense", grid_vs_dense);
+        w.field("wheel_vs_heap", wheel_vs_heap);
+        w.field("speedup", speedup);
+        w.field("metrics_identical", identical);
+      });
+      table.add_row({protocol_id, util::Table::num(n), util::Table::num(trials),
+                     util::Table::num(dense_ms), util::Table::num(heap_ms),
+                     util::Table::num(wheel_ms), util::Table::num(grid_vs_dense),
+                     util::Table::num(wheel_vs_heap), identical ? "yes" : "NO"});
+    }
   }
 
   table.print(std::cout);

@@ -5,7 +5,10 @@
 //   firefly_cli --protocol st --n 60 --mobility 1.5 --periods 100
 //
 // Flags (defaults in brackets):
-//   --protocol fst|st|both [both]   --n <devices> [50]
+//   --protocol <name>|both|all [both]  any registered protocol (fst, st,
+//                                   birthday, desync — see --help for the
+//                                   live list); unknown names are an error
+//   --n <devices> [50]
 //   --seed <u64> [1]                --trials <count> [1]
 //   --area scaled|fixed [scaled]    --epsilon <PRC ε> [0.05]
 //   --period <slots> [100]          --periods <max periods> [400]
@@ -49,6 +52,7 @@
 #include "core/service_mode.hpp"
 #include "core/trace.hpp"
 #include "obs/span.hpp"
+#include "proto/registry.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/soak.hpp"
@@ -62,7 +66,7 @@ int main(int argc, char** argv) {
 
   if (flags.has("help")) {
     std::cout << "usage: " << flags.program()
-              << " [--protocol fst|st|birthday|both|all] [--n N] [--seed S] [--trials T]\n"
+              << " [--protocol NAME|both|all] [--n N] [--seed S] [--trials T]\n"
                  "       [--area scaled|fixed] [--epsilon E] [--period SLOTS]\n"
                  "       [--periods MAX] [--mobility MPS] [--csv PATH] [--scheduler wheel|heap]\n"
                  "       [--churn PER_MIN] [--downtime MS] [--churn-stop MS] [--drift PPM]\n"
@@ -70,7 +74,12 @@ int main(int argc, char** argv) {
                  "       [--telemetry] [--trace-chrome PATH] [--metrics-out PATH]\n"
                  "       [--trace-csv PATH] [--trace-capacity N]\n"
                  "       [--service] [--duration-slots N] [--window-slots N]\n"
-                 "       [--snapshot-every SLOTS] [--soak-out PATH]\n";
+                 "       [--snapshot-every SLOTS] [--soak-out PATH]\n"
+                 "protocols (from proto::Registry):\n";
+    for (const std::string& name : proto::Registry::instance().names()) {
+      const proto::ProtocolInfo* info = proto::Registry::instance().find(name);
+      std::cout << "  " << name << " — " << info->summary << '\n';
+    }
     return 0;
   }
 
@@ -86,7 +95,13 @@ int main(int argc, char** argv) {
   base.protocol.max_periods =
       static_cast<std::uint32_t>(flags.get("periods", std::int64_t{400}));
   base.protocol.mobility_speed_mps = flags.get("mobility", 0.0);
-  base.protocol.scheduler = sim::scheduler_from_string(flags.get("scheduler", std::string("wheel")));
+  const std::string scheduler_arg = flags.get("scheduler", std::string("wheel"));
+  if (const auto kind = sim::scheduler_from_name(scheduler_arg); kind.has_value()) {
+    base.protocol.scheduler = *kind;
+  } else {
+    std::cerr << "unknown --scheduler '" << scheduler_arg << "' (expected: wheel, heap)\n";
+    return 2;
+  }
   fault::FaultPlan& faults = base.protocol.faults;
   faults.churn_rate_per_min = flags.get("churn", flags.get("churn-rate", 0.0));
   faults.mean_downtime_ms = flags.get("downtime", faults.mean_downtime_ms);
@@ -129,14 +144,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --protocol resolves through the registry: any registered name runs, the
+  // "both"/"all" multi-run shorthands expand here, and anything else is an
+  // error listing what IS registered — a typo must not silently run the
+  // default pair.
+  const proto::Registry& registry = proto::Registry::instance();
   const std::string protocol_arg = flags.get("protocol", std::string("both"));
   std::vector<core::Protocol> protocols;
-  if (protocol_arg == "fst") protocols = {core::Protocol::kFst};
-  else if (protocol_arg == "st") protocols = {core::Protocol::kSt};
-  else if (protocol_arg == "birthday") protocols = {core::Protocol::kBirthday};
-  else if (protocol_arg == "all")
-    protocols = {core::Protocol::kFst, core::Protocol::kSt, core::Protocol::kBirthday};
-  else protocols = {core::Protocol::kFst, core::Protocol::kSt};
+  if (protocol_arg == "both") {
+    protocols = {core::Protocol::kFst, core::Protocol::kSt};
+  } else if (protocol_arg == "all") {
+    for (const std::string& name : registry.names()) {
+      protocols.push_back(registry.find(name)->id);
+    }
+  } else if (const proto::ProtocolInfo* info = registry.find(protocol_arg)) {
+    protocols = {info->id};
+  } else {
+    std::cerr << "unknown --protocol '" << protocol_arg << "' (registered:";
+    for (const std::string& name : registry.names()) std::cerr << ' ' << name;
+    std::cerr << "; shorthands: both, all)\n";
+    return 2;
+  }
 
   // Shared tail: telemetry summary, metrics JSONL trailer, trace exports.
   // Used by both the trials path and the service-soak path.

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 #include "pco/sync_metrics.hpp"
 #include "util/table.hpp"
 
@@ -25,7 +25,7 @@ namespace {
 
 using namespace firefly;
 
-class MobileObserver final : public core::StEngine {
+class MobileObserver final : public proto::StEngine {
  public:
   using StEngine::StEngine;
 

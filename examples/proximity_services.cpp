@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
             << " devices, 4 service interests, seed " << config.seed << "\n";
 
   auto positions = core::deploy(config);
-  core::StEngine engine(std::move(positions), config.protocol, config.radio, config.seed);
+  proto::StEngine engine(std::move(positions), config.protocol, config.radio, config.seed);
   const core::RunMetrics metrics = engine.run();
 
   std::cout << "\nconverged: " << (metrics.converged ? "yes" : "NO") << " at "

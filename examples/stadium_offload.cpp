@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 #include "geo/deployment.hpp"
 #include "phy/link.hpp"
 #include "util/rng.hpp"
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   core::ScenarioConfig config;  // Table I radio, default protocol knobs
   config.n = n;
   config.seed = seed;
-  core::StEngine engine(positions, config.protocol, config.radio, seed);
+  proto::StEngine engine(positions, config.protocol, config.radio, seed);
   const core::RunMetrics metrics = engine.run();
 
   std::cout << "\nconverged: " << (metrics.converged ? "yes" : "NO") << " at "

@@ -52,6 +52,12 @@ struct Device {
   std::int64_t last_fragment_activity_slot{0};  ///< stall detection for headless fragments
   std::int64_t head_heard_slot{0};      ///< lease: last proof a live head serves my fragment
 
+  // --- DESYNC phase-neighbour memory (proto/desync.*; idle for other protocols) ---
+  std::int64_t desync_last_heard_slot{-1};  ///< latest pulse heard (sent slot)
+  std::int64_t desync_prev_slot{-1};    ///< last pulse heard before my own firing
+  std::int32_t desync_residual{-1};     ///< |midpoint imbalance| after last jump (-1: unmeasured)
+  bool desync_adjusted{false};          ///< midpoint jump already spent this cycle
+
   /// Oscillator counter at `slot` given the scheduled natural firing.
   [[nodiscard]] std::uint32_t counter_at(std::int64_t slot, std::uint32_t period) const {
     const std::int64_t remaining = next_fire_slot - slot;

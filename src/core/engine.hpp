@@ -1,12 +1,14 @@
-// engine.hpp — common plumbing for the two protocol engines.
+// engine.hpp — common plumbing for the protocol backends in src/proto/.
 //
 // `EngineBase` owns the whole simulated world of one trial: the event
 // scheduler, the Table I channel, the radio medium, the device array and
-// the convergence detector.  Subclasses implement `on_start` (what runs at
-// t = 0) and `on_reception` (the protocol state machine); the base supplies
-// the event-driven oscillator (schedule/reschedule/fire), neighbour-table
-// maintenance with RSSI ranging, periodic convergence checks and the final
-// metrics sweep.
+// the convergence detector.  It derives from `proto::DiscoveryProtocol`
+// (proto/protocol.hpp), whose hooks — `on_start`, `on_reception`,
+// `emit_fire_broadcast`, convergence/metrics/snapshot participation — the
+// backends implement; the base supplies the event-driven oscillator
+// (schedule/reschedule/fire), neighbour-table maintenance with RSSI
+// ranging, periodic convergence checks and the final metrics sweep.
+// Backends are resolved by name or enum through `proto::Registry`.
 #pragma once
 
 #include <memory>
@@ -25,6 +27,7 @@
 #include "phy/channel.hpp"
 #include "phy/energy.hpp"
 #include "phy/rssi.hpp"
+#include "proto/protocol.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -43,7 +46,7 @@ struct ServiceConfig;
 struct ServiceReport;
 struct EngineSnapshot;
 
-class EngineBase {
+class EngineBase : public proto::DiscoveryProtocol {
  public:
   EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
              phy::RadioParams radio_params, std::uint64_t seed);
@@ -93,31 +96,10 @@ class EngineBase {
   void set_telemetry(obs::Telemetry* telemetry);
 
  protected:
-  /// Called once before the event loop starts.
-  virtual void on_start() = 0;
-  /// Protocol reaction to a decoded PS.
-  virtual void on_reception(Device& device, const mac::Reception& reception) = 0;
-  /// Broadcast emitted when `device` fires (protocols differ in payload).
-  virtual void emit_fire_broadcast(Device& device) = 0;
-  /// Hook for metrics specific to a protocol (tree stats etc.).
-  virtual void fill_protocol_metrics(RunMetrics& /*metrics*/) const {}
-  /// Protocol-specific termination condition folded into convergence.
-  /// The ST algorithm (paper Algorithm 1) runs `while |ST| != 1`, so its
-  /// convergence additionally requires the spanning structure to be
-  /// complete; the baseline has no such requirement.
-  [[nodiscard]] virtual bool protocol_complete() const { return true; }
-  /// Whether convergence includes the global firing-alignment goal.
-  /// Discovery-only baselines (birthday protocols) waive it by design.
-  [[nodiscard]] virtual bool requires_sync() const { return true; }
-  /// Protocol-state reset when a crashed device cold-boots (fault
-  /// injection).  The base already clears the oscillator and the neighbour
-  /// table; ST additionally resets its fragment state here.
-  virtual void on_recover(Device& /*device*/) {}
-  /// Protocol-level scalar state for snapshot/restore, packed into one word
-  /// (ST: the fresh-label cursor).  Protocols with per-device state only
-  /// need nothing here — devices are captured wholesale.
-  [[nodiscard]] virtual std::uint64_t protocol_snapshot_word() const { return 0; }
-  virtual void protocol_restore_word(std::uint64_t /*word*/) {}
+  // The protocol hooks (on_start, on_reception, emit_fire_broadcast,
+  // fill_protocol_metrics, fill_soak_window, protocol_complete,
+  // requires_sync, on_recover, protocol_snapshot_word/restore_word) are
+  // inherited from proto::DiscoveryProtocol; backends override them there.
 
   /// Re-election storm brake.  Headless-fragment reclaims call this before
   /// relabelling; at most `relabel_cap_per_period` are granted per firing

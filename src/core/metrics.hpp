@@ -43,6 +43,10 @@ struct RunMetrics {
   double tree_weight_dbm{0.0};    ///< sum of tree edge weights (PS strength)
   double tree_service_affinity{0.0};  ///< fraction of tree edges joining same-service UEs
 
+  // --- desynchronisation (DESYNC only; zero for the sync protocols) ---
+  double desync_error{0.0};         ///< mean |midpoint residual| (slots)
+  double desync_spread_slots{0.0};  ///< max−min cyclic firing-phase gap (slots)
+
   // --- energy (refs [4]-[9] motivation: discovery power cost) ---
   double total_energy_mj{0.0};        ///< all devices, to the stop instant
   double mean_device_energy_mj{0.0};

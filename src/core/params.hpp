@@ -65,6 +65,18 @@ struct ProtocolParams {
   /// and takes headship, so orphaned partitions re-join via H_Connect.
   std::uint32_t head_lease_periods{8};
 
+  // --- DESYNC only (proto/desync.*; arXiv:1210.2122) ---
+  /// Midpoint-jump strength α ∈ (0, 1]: each firing moves toward the
+  /// midpoint of the two phase neighbours by this fraction.  The literature
+  /// default 0.95 converges fast and stays stable under dithered rounding.
+  double desync_alpha{0.95};
+  /// A device counts as balanced when its post-jump midpoint residual is at
+  /// most this many slots.
+  std::uint32_t desync_tolerance_slots{2};
+  /// Consecutive convergence checks every measured device must stay
+  /// balanced for before the protocol goal latches.
+  std::uint32_t desync_sustain_checks{4};
+
   // --- fault injection (default-constructed plan = fault-free run) ---
   fault::FaultPlan faults{};
 

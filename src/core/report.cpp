@@ -37,6 +37,8 @@ void write_run_metrics_json(obs::JsonWriter& w, const RunMetrics& m) {
   w.field("tree_edges", static_cast<std::uint64_t>(m.tree_edges));
   w.field("tree_weight_dbm", m.tree_weight_dbm);
   w.field("tree_service_affinity", m.tree_service_affinity);
+  w.field("desync_error", m.desync_error);
+  w.field("desync_spread_slots", m.desync_spread_slots);
   w.field("total_energy_mj", m.total_energy_mj);
   w.field("mean_device_energy_mj", m.mean_device_energy_mj);
   w.field("energy_per_neighbor_mj", m.energy_per_neighbor_mj);
@@ -124,6 +126,7 @@ void write_soak_window_json(obs::JsonWriter& w, const sim::SoakWindow& win) {
   w.field("mean_resync_ms", win.mean_resync_ms);
   w.field("relabels", win.relabels);
   w.field("relabels_suppressed", win.relabels_suppressed);
+  w.field("desync_error", win.desync_error);
   w.field("events_live", static_cast<std::uint64_t>(win.events_live));
   w.field("arena_capacity", static_cast<std::uint64_t>(win.arena_capacity));
   w.field("arena_high_water", static_cast<std::uint64_t>(win.arena_high_water));

@@ -1,12 +1,13 @@
 #include "core/scenario.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <memory>
 
-#include "core/birthday.hpp"
-#include "core/fst.hpp"
-#include "core/st.hpp"
+#include "core/engine.hpp"
 #include "geo/grid.hpp"
+#include "proto/registry.hpp"
 #include "util/rng.hpp"
 
 namespace firefly::core {
@@ -16,6 +17,7 @@ const char* to_string(Protocol p) {
     case Protocol::kFst: return "FST";
     case Protocol::kSt: return "ST";
     case Protocol::kBirthday: return "Birthday";
+    case Protocol::kDesync: return "DESYNC";
   }
   return "?";
 }
@@ -64,30 +66,17 @@ graph::Graph proximity_graph(const std::vector<geo::Vec2>& positions, phy::Chann
   return g;
 }
 
-namespace {
-template <typename Engine>
-RunMetrics run_with_hooks(std::vector<geo::Vec2> positions, const ScenarioConfig& config,
-                          const RunHooks& hooks) {
-  Engine engine(std::move(positions), config.protocol, config.radio, config.seed);
-  engine.set_trace(hooks.trace);
-  engine.set_telemetry(hooks.telemetry);
-  RunMetrics metrics = engine.run();
-  if (hooks.progress != nullptr) hooks.progress->advance();
-  return metrics;
-}
-}  // namespace
-
 RunMetrics run_trial(Protocol protocol, const ScenarioConfig& config,
                      const RunHooks& hooks) {
   std::vector<geo::Vec2> positions = deploy(config);
-  switch (protocol) {
-    case Protocol::kFst:
-      return run_with_hooks<FstEngine>(std::move(positions), config, hooks);
-    case Protocol::kBirthday:
-      return run_with_hooks<BirthdayEngine>(std::move(positions), config, hooks);
-    case Protocol::kSt: break;
-  }
-  return run_with_hooks<StEngine>(std::move(positions), config, hooks);
+  std::unique_ptr<EngineBase> engine = proto::Registry::instance().make(
+      protocol, std::move(positions), config.protocol, config.radio, config.seed);
+  assert(engine != nullptr);  // every Protocol enumerator has a built-in backend
+  engine->set_trace(hooks.trace);
+  engine->set_telemetry(hooks.telemetry);
+  RunMetrics metrics = engine->run();
+  if (hooks.progress != nullptr) hooks.progress->advance();
+  return metrics;
 }
 
 }  // namespace firefly::core

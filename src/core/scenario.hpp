@@ -33,6 +33,7 @@ enum class Protocol {
   kFst,       ///< full-mesh firefly baseline (Chao et al.)
   kSt,        ///< proposed spanning-tree algorithm (this paper)
   kBirthday,  ///< sync-free random-beacon discovery (refs [4]-[7])
+  kDesync,    ///< dithered desynchronisation (arXiv:1210.2122)
 };
 
 [[nodiscard]] const char* to_string(Protocol p);
@@ -70,7 +71,8 @@ struct RunHooks {
 };
 
 /// Run one trial of the chosen protocol on the scenario, with any
-/// observers in `hooks` attached for its duration.
+/// observers in `hooks` attached for its duration.  The engine is built
+/// through `proto::Registry`, so every registered backend is runnable here.
 [[nodiscard]] RunMetrics run_trial(Protocol protocol, const ScenarioConfig& config,
                                    const RunHooks& hooks = {});
 

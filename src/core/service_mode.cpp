@@ -7,9 +7,7 @@
 #include <cmath>
 #include <utility>
 
-#include "core/birthday.hpp"
-#include "core/fst.hpp"
-#include "core/st.hpp"
+#include "proto/registry.hpp"
 
 namespace firefly::core {
 
@@ -297,6 +295,7 @@ ServiceReport EngineBase::run_service(const ServiceConfig& cfg,
     w.arena_capacity = stats.arena_capacity;
     w.arena_high_water = stats.arena_high_water;
     w.events_processed = sim_.events_processed();
+    fill_soak_window(w);  // protocol-specific gauges (DESYNC error etc.)
     if (recorder != nullptr) recorder->push(w);
     ++report.windows;
     prev = now;
@@ -335,33 +334,18 @@ ServiceReport EngineBase::run_service(const ServiceConfig& cfg,
 // run_service_trial
 // ---------------------------------------------------------------------------
 
-namespace {
-template <typename Engine>
-ServiceReport run_engine_service(const ScenarioConfig& config,
-                                 const ServiceConfig& service, const RunHooks& hooks,
-                                 sim::SoakRecorder* recorder) {
-  std::vector<geo::Vec2> positions = deploy(config);
-  Engine engine(std::move(positions), config.protocol, config.radio, config.seed);
-  engine.set_trace(hooks.trace);
-  engine.set_telemetry(hooks.telemetry);
-  ServiceReport report = engine.run_service(service, recorder);
-  if (hooks.progress != nullptr) hooks.progress->advance();
-  return report;
-}
-}  // namespace
-
 ServiceReport run_service_trial(Protocol protocol, const ScenarioConfig& config,
                                 const ServiceConfig& service, const RunHooks& hooks,
                                 sim::SoakRecorder* recorder) {
-  switch (protocol) {
-    case Protocol::kFst:
-      return run_engine_service<FstEngine>(config, service, hooks, recorder);
-    case Protocol::kBirthday:
-      return run_engine_service<BirthdayEngine>(config, service, hooks, recorder);
-    case Protocol::kSt:
-      break;
-  }
-  return run_engine_service<StEngine>(config, service, hooks, recorder);
+  std::vector<geo::Vec2> positions = deploy(config);
+  std::unique_ptr<EngineBase> engine = proto::Registry::instance().make(
+      protocol, std::move(positions), config.protocol, config.radio, config.seed);
+  assert(engine != nullptr);  // every Protocol enumerator has a built-in backend
+  engine->set_trace(hooks.trace);
+  engine->set_telemetry(hooks.telemetry);
+  ServiceReport report = engine->run_service(service, recorder);
+  if (hooks.progress != nullptr) hooks.progress->advance();
+  return report;
 }
 
 }  // namespace firefly::core

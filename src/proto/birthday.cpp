@@ -1,6 +1,9 @@
-#include "core/birthday.hpp"
+#include "proto/birthday.hpp"
 
-namespace firefly::core {
+namespace firefly::proto {
+
+using core::Fields;
+using core::pack;
 
 void BirthdayEngine::on_start() {
   // Every device beacons once per period from a random initial phase — the
@@ -20,4 +23,4 @@ void BirthdayEngine::on_reception(Device& /*device*/, const mac::Reception& /*re
   // neighbour table), never react.
 }
 
-}  // namespace firefly::core
+}  // namespace firefly::proto

@@ -15,7 +15,10 @@
 
 #include "core/engine.hpp"
 
-namespace firefly::core {
+namespace firefly::proto {
+
+using core::Device;
+using core::EngineBase;
 
 class BirthdayEngine : public EngineBase {
  public:
@@ -29,4 +32,4 @@ class BirthdayEngine : public EngineBase {
   [[nodiscard]] bool requires_sync() const override { return false; }
 };
 
-}  // namespace firefly::core
+}  // namespace firefly::proto

@@ -1,0 +1,86 @@
+// desync.hpp — discrete dithered desynchronisation (DESYNC).
+//
+// Ashkiani & Scaglione, "Discrete Dithered Desynchronization"
+// (arXiv:1210.2122), building on Degesys et al.'s DESYNC: the same
+// pulse-coupled oscillator substrate as the firefly schemes, run toward the
+// *opposite* fixed point.  Instead of absorbing into a common firing
+// instant, every node steers its firing to the midpoint of its two phase
+// neighbours — the last pulse it heard before its own firing ("previous")
+// and the first pulse it hears after it ("next"):
+//
+//     jump = α · (next_gap − prev_gap) / 2        (slots, signed)
+//
+// applied to the node's next scheduled firing, once per own firing.  At the
+// fixed point the live nodes fire in a round-robin schedule spaced T/n —
+// a TDMA frame negotiated with no base station, no global clock and no
+// message contents beyond the pulse itself.  On the 1 ms LTE slot grid the
+// continuous jump is quantised by *dithered rounding* (the paper's fix for
+// limit cycles that plain truncation causes): ⌊jump⌋, plus one more slot
+// with probability equal to the fractional part, drawn from the engine's
+// deterministic control RNG so runs replay bit-identically.
+//
+// Convergence observables (this protocol's RunMetrics/soak contribution):
+//   * desync_error — mean |next_gap − prev_gap| residual after the latest
+//     jump, over live measured devices (slots; 0 at the fixed point);
+//   * desync_spread_slots — max−min cyclic gap between consecutive firing
+//     phases across the population (global round-robin uniformity).
+//
+// `protocol_complete()` holds when every live device that can hear anyone
+// sits within desync_tolerance_slots of its midpoint for
+// desync_sustain_checks consecutive convergence checks.  Global firing
+// alignment is the anti-goal, so requires_sync() is false (like the
+// birthday baseline, the detector's sync criterion is waived); discovery
+// still must complete on every reliable link — pulses carry the same
+// (fragment, service) discovery payload as FST beacons.
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace firefly::proto {
+
+using core::Device;
+using core::EngineBase;
+using core::RunMetrics;
+
+class DesyncEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+
+ protected:
+  void on_start() override;
+  void on_reception(Device& device, const mac::Reception& reception) override;
+  void emit_fire_broadcast(Device& device) override;
+  void fill_protocol_metrics(RunMetrics& metrics) const override;
+  void fill_soak_window(sim::SoakWindow& window) const override;
+  /// Anti-phase fixed point reached and sustained (see file comment).
+  [[nodiscard]] bool protocol_complete() const override;
+  /// Desynchronisation is the goal; the global-alignment criterion is waived.
+  [[nodiscard]] bool requires_sync() const override { return false; }
+  /// Cold-boot: a recovered device re-enters with no phase-neighbour memory.
+  void on_recover(Device& device) override;
+  /// The sustained-check counter is DESYNC's only engine-level scalar; the
+  /// phase-neighbour memory rides along with the Device records.
+  [[nodiscard]] std::uint64_t protocol_snapshot_word() const override {
+    return stable_checks_;
+  }
+  void protocol_restore_word(std::uint64_t word) override {
+    stable_checks_ = static_cast<std::uint32_t>(word);
+  }
+
+ private:
+  /// The once-per-cycle midpoint jump, triggered by the first pulse heard
+  /// after the device's own firing.
+  void midpoint_jump(Device& device, std::int64_t next_pulse_slot);
+  /// Mean |midpoint residual| over live measured devices, in slots.
+  [[nodiscard]] double mean_error_slots() const;
+  /// Max−min cyclic gap of the live population's firing phases, in slots.
+  [[nodiscard]] double spread_slots() const;
+
+  /// Consecutive convergence checks with every measured device inside
+  /// tolerance.  Mutable: protocol_complete() is the per-check evaluator
+  /// (called exactly once per check while convergence is still pending),
+  /// and the hook is const for every other backend.
+  mutable std::uint32_t stable_checks_{0};
+};
+
+}  // namespace firefly::proto

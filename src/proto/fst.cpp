@@ -1,6 +1,9 @@
-#include "core/fst.hpp"
+#include "proto/fst.hpp"
 
-namespace firefly::core {
+namespace firefly::proto {
+
+using core::Fields;
+using core::pack;
 
 void FstEngine::on_start() {
   // Nothing beyond the base: oscillators free-run from random phases and
@@ -20,4 +23,4 @@ void FstEngine::on_reception(Device& device, const mac::Reception& reception) {
   apply_pulse_coupling(device, reception);
 }
 
-}  // namespace firefly::core
+}  // namespace firefly::proto

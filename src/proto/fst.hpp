@@ -13,7 +13,10 @@
 
 #include "core/engine.hpp"
 
-namespace firefly::core {
+namespace firefly::proto {
+
+using core::Device;
+using core::EngineBase;
 
 class FstEngine : public EngineBase {
  public:
@@ -25,4 +28,4 @@ class FstEngine : public EngineBase {
   void emit_fire_broadcast(Device& device) override;
 };
 
-}  // namespace firefly::core
+}  // namespace firefly::proto

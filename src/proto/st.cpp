@@ -1,11 +1,18 @@
-#include "core/st.hpp"
+#include "proto/st.hpp"
 
 #include <algorithm>
 #include <cassert>
 
 #include "util/log.hpp"
 
-namespace firefly::core {
+namespace firefly::proto {
+
+using core::Fields;
+using core::TraceKind;
+using core::kInvalidId;
+using core::merge_key;
+using core::pack;
+using core::unpack;
 
 
 void StEngine::on_start() {
@@ -482,4 +489,4 @@ void StEngine::fill_protocol_metrics(RunMetrics& metrics) const {
       edges > 0 ? static_cast<double>(same_service_edges) / edges : 0.0;
 }
 
-}  // namespace firefly::core
+}  // namespace firefly::proto

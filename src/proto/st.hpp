@@ -39,7 +39,11 @@
 
 #include "core/engine.hpp"
 
-namespace firefly::core {
+namespace firefly::proto {
+
+using core::Device;
+using core::EngineBase;
+using core::RunMetrics;
 
 class StEngine : public EngineBase {
  public:
@@ -96,4 +100,4 @@ class StEngine : public EngineBase {
   std::uint16_t next_label_{0};  ///< fresh_label cursor (starts past the ids)
 };
 
-}  // namespace firefly::core
+}  // namespace firefly::proto

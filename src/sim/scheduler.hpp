@@ -9,6 +9,7 @@
 //     reference implementation the equivalence tests compare against.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 namespace firefly::sim {
@@ -22,12 +23,20 @@ enum class SchedulerKind {
   return kind == SchedulerKind::kWheel ? "wheel" : "heap";
 }
 
-/// Parse "wheel"/"heap"; anything else returns `fallback`.
-[[nodiscard]] constexpr SchedulerKind scheduler_from_string(
-    std::string_view name, SchedulerKind fallback = SchedulerKind::kWheel) {
+/// Strict parse of "wheel"/"heap"; nullopt for anything else.  User-facing
+/// surfaces (CLI flags) must use this and reject unknown names loudly.
+[[nodiscard]] constexpr std::optional<SchedulerKind> scheduler_from_name(
+    std::string_view name) {
   if (name == "wheel") return SchedulerKind::kWheel;
   if (name == "heap") return SchedulerKind::kHeap;
-  return fallback;
+  return std::nullopt;
+}
+
+/// Parse "wheel"/"heap"; anything else returns `fallback`.  For defaultable
+/// internal call sites only — CLI parsing goes through scheduler_from_name.
+[[nodiscard]] constexpr SchedulerKind scheduler_from_string(
+    std::string_view name, SchedulerKind fallback = SchedulerKind::kWheel) {
+  return scheduler_from_name(name).value_or(fallback);
 }
 
 }  // namespace firefly::sim

@@ -1,7 +1,7 @@
-// Tests for the sync-free birthday-protocol baseline (src/core/birthday.hpp).
+// Tests for the sync-free birthday-protocol baseline (src/proto/birthday.hpp).
 #include <gtest/gtest.h>
 
-#include "core/birthday.hpp"
+#include "proto/birthday.hpp"
 #include "core/scenario.hpp"
 #include "pco/sync_metrics.hpp"
 
@@ -32,7 +32,7 @@ TEST(Birthday, NeverAligns) {
   config.protocol.stop_on_convergence = false;
   config.protocol.max_periods = 50;
   auto positions = core::deploy(config);
-  core::BirthdayEngine engine(std::move(positions), config.protocol, config.radio,
+  proto::BirthdayEngine engine(std::move(positions), config.protocol, config.radio,
                               config.seed);
   const auto m = engine.run();
   EXPECT_TRUE(m.converged);

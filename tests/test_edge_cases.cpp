@@ -4,9 +4,9 @@
 // crash or hang.
 #include <gtest/gtest.h>
 
-#include "core/fst.hpp"
+#include "proto/fst.hpp"
 #include "core/scenario.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 
 namespace {
 
@@ -29,7 +29,7 @@ TEST(EdgeCases, TwoDevicesInRange) {
   std::vector<geo::Vec2> positions{{10.0, 10.0}, {14.0, 10.0}};
   core::ProtocolParams params;
   phy::RadioParams radio;
-  core::StEngine engine(positions, params, radio, 7);
+  proto::StEngine engine(positions, params, radio, 7);
   const auto m = engine.run();
   EXPECT_TRUE(m.converged);
   EXPECT_EQ(m.final_fragments, 1U);
@@ -45,7 +45,7 @@ TEST(EdgeCases, DisconnectedIslandsReportFailureNotHang) {
   core::ProtocolParams params;
   params.max_periods = 20;  // keep the capped run short
   phy::RadioParams radio;
-  core::StEngine engine(positions, params, radio, 3);
+  proto::StEngine engine(positions, params, radio, 3);
   const auto m = engine.run();
   EXPECT_FALSE(m.converged);
   EXPECT_NEAR(m.simulated_ms, 20.0 * 100.0, 1.0);

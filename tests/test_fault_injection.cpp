@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 #include "fault/fault_injector.hpp"
 #include "mac/radio.hpp"
 
@@ -197,13 +197,13 @@ TEST(RadioFaults, HookVetoIsCountedAndAttenuationFlowsThrough) {
 }
 
 // Exposes the protected stepping interface for lifecycle tests.
-class SteppableSt : public core::StEngine {
+class SteppableSt : public proto::StEngine {
  public:
-  using core::StEngine::StEngine;
-  using core::StEngine::collect_metrics;
-  using core::StEngine::crash_device;
-  using core::StEngine::recover_device;
-  using core::StEngine::start_run;
+  using proto::StEngine::StEngine;
+  using proto::StEngine::collect_metrics;
+  using proto::StEngine::crash_device;
+  using proto::StEngine::recover_device;
+  using proto::StEngine::start_run;
   sim::Simulator& sim() { return sim_; }
   const core::Device& device(std::uint32_t id) const { return devices_[id]; }
 };

@@ -5,7 +5,7 @@
 #include <set>
 
 #include "core/scenario.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 
 namespace {
 
@@ -22,7 +22,7 @@ core::ScenarioConfig mobile_config(double speed, std::uint32_t periods) {
   return config;
 }
 
-class ObservableSt final : public core::StEngine {
+class ObservableSt final : public proto::StEngine {
  public:
   using StEngine::StEngine;
   [[nodiscard]] std::vector<geo::Vec2> positions() const {

@@ -1,13 +1,13 @@
 // Integration tests: the FST baseline and the proposed ST algorithm running
-// end to end over the simulated radio (src/core/fst.hpp, st.hpp).
+// end to end over the simulated radio (src/proto/fst.hpp, st.hpp).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
 
-#include "core/fst.hpp"
+#include "proto/fst.hpp"
 #include "core/scenario.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 
 namespace {
 
@@ -132,7 +132,7 @@ TEST(Protocols, StBeatsFstAtScaleOnMessages) {
 TEST(Protocols, EngineExposesDeviceStates) {
   ScenarioConfig config = small_scenario(31);
   auto positions = core::deploy(config);
-  core::StEngine engine(positions, config.protocol, config.radio, config.seed);
+  proto::StEngine engine(positions, config.protocol, config.radio, config.seed);
   const RunMetrics m = engine.run();
   ASSERT_TRUE(m.converged);
   // All devices in one fragment, each with a reasonable neighbour table.

@@ -7,7 +7,7 @@
 #include <set>
 
 #include "core/scenario.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 #include "phy/channel.hpp"
 #include "util/rng.hpp"
 
@@ -111,7 +111,7 @@ TEST(Schedule, SchedulesTheStTree) {
   config.seed = 17;
   config.area_policy = core::AreaPolicy::kFixed;
   auto positions = core::deploy(config);
-  core::StEngine engine(positions, config.protocol, config.radio, config.seed);
+  proto::StEngine engine(positions, config.protocol, config.radio, config.seed);
   const auto metrics = engine.run();
   ASSERT_TRUE(metrics.converged);
 

@@ -93,6 +93,32 @@ TEST(SchedulerEquivalence, StFaultInjectionRunIsBitIdentical) {
   expect_bit_identical(core::Protocol::kSt, config);
 }
 
+TEST(SchedulerEquivalence, DesyncStaticRunIsBitIdentical) {
+  // The DESYNC backend schedules jump-adjusted fires through the same
+  // cancel/reschedule path; its run must not depend on the scheduler.
+  core::ScenarioConfig config;
+  config.n = 60;
+  config.seed = 7005;
+  const core::RunMetrics wheel =
+      run_with(core::Protocol::kDesync, config, sim::SchedulerKind::kWheel);
+  const core::RunMetrics heap =
+      run_with(core::Protocol::kDesync, config, sim::SchedulerKind::kHeap);
+  EXPECT_EQ(metrics_json(wheel), metrics_json(heap));
+  EXPECT_TRUE(wheel.converged);
+  EXPECT_GT(wheel.deliveries, 0U);
+}
+
+TEST(SchedulerEquivalence, DesyncFaultInjectionRunIsBitIdentical) {
+  core::ScenarioConfig config;
+  config.n = 40;
+  config.seed = 7006;
+  config.protocol.max_periods = 30;
+  config.protocol.faults.churn_rate_per_min = 20.0;
+  config.protocol.faults.mean_downtime_ms = 1000.0;
+  config.protocol.faults.drop_probability = 0.05;
+  expect_bit_identical(core::Protocol::kDesync, config);
+}
+
 TEST(SchedulerEquivalence, AllFourSchedulerSpatialCombinationsMatch) {
   // The acceptance matrix: {wheel, heap} × {grid, dense} on one scenario
   // must produce one identical RunMetrics record, serialised.

@@ -10,7 +10,7 @@
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 #include "core/service_mode.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 #include "sim/soak.hpp"
 
 namespace {
@@ -34,12 +34,12 @@ core::ServiceConfig short_soak() {
 }
 
 /// StEngine with the service API opened up for direct driving.
-class ServiceSt : public core::StEngine {
+class ServiceSt : public proto::StEngine {
  public:
-  using core::StEngine::StEngine;
-  using core::StEngine::restore;
-  using core::StEngine::run_service;
-  using core::StEngine::snapshot;
+  using proto::StEngine::StEngine;
+  using proto::StEngine::restore;
+  using proto::StEngine::run_service;
+  using proto::StEngine::snapshot;
 };
 
 TEST(ServiceMode, EmitsOneWindowPerSlice) {

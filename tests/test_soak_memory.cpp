@@ -17,7 +17,7 @@
 
 #include "core/scenario.hpp"
 #include "core/service_mode.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 #include "sim/soak.hpp"
 
 namespace {
@@ -52,10 +52,10 @@ namespace {
 
 using namespace firefly;
 
-class ServiceSt : public core::StEngine {
+class ServiceSt : public proto::StEngine {
  public:
-  using core::StEngine::StEngine;
-  using core::StEngine::run_service;
+  using proto::StEngine::StEngine;
+  using proto::StEngine::run_service;
 };
 
 TEST(SoakMemory, MillionSlotChurnSoakHasZeroSteadyStateHeapGrowth) {

@@ -98,6 +98,21 @@ TEST(SpatialEquivalence, StFaultInjectionRunIsBitIdentical) {
   expect_bit_identical(core::Protocol::kSt, config);
 }
 
+TEST(SpatialEquivalence, DesyncStaticRunIsBitIdentical) {
+  // The DESYNC backend consumes the same delivery stream; the spatial
+  // index must not change which pulses seed its phase-neighbour memory.
+  core::ScenarioConfig config;
+  config.n = 60;
+  config.seed = 7005;
+  const core::RunMetrics grid =
+      run_with(core::Protocol::kDesync, config, phy::SpatialIndex::kGrid);
+  const core::RunMetrics dense =
+      run_with(core::Protocol::kDesync, config, phy::SpatialIndex::kDense);
+  EXPECT_EQ(metrics_json(grid), metrics_json(dense));
+  EXPECT_TRUE(grid.converged);
+  EXPECT_GT(grid.deliveries, 0U);
+}
+
 TEST(SpatialEquivalence, MemoisedCandidateMeansMatchDirectChannelQueries) {
   // The candidate cache stores slot-averaged powers computed through the
   // cache-free bulk path; the protocols later query the memoised per-link

@@ -8,20 +8,20 @@
 #include <vector>
 
 #include "core/scenario.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 #include "core/wire.hpp"
 
 namespace {
 
 using namespace firefly;
 
-class SteppableSt : public core::StEngine {
+class SteppableSt : public proto::StEngine {
  public:
-  using core::StEngine::StEngine;
-  using core::StEngine::collect_metrics;
-  using core::StEngine::crash_device;
-  using core::StEngine::on_reception;
-  using core::StEngine::start_run;
+  using proto::StEngine::StEngine;
+  using proto::StEngine::collect_metrics;
+  using proto::StEngine::crash_device;
+  using proto::StEngine::on_reception;
+  using proto::StEngine::start_run;
   sim::Simulator& sim() { return sim_; }
   mac::RadioMedium& radio() { return radio_; }
   core::Device& device(std::uint32_t id) { return devices_[id]; }

@@ -7,7 +7,7 @@
 #include <fstream>
 
 #include "core/scenario.hpp"
-#include "core/st.hpp"
+#include "proto/st.hpp"
 
 namespace {
 
@@ -108,7 +108,7 @@ TEST(TraceIntegration, StRunEmitsProtocolMilestones) {
   config.seed = 9;
   config.area_policy = core::AreaPolicy::kFixed;
   auto positions = core::deploy(config);
-  core::StEngine engine(std::move(positions), config.protocol, config.radio, config.seed);
+  proto::StEngine engine(std::move(positions), config.protocol, config.radio, config.seed);
   TraceSink sink;
   engine.set_trace(&sink);
   const auto metrics = engine.run();
@@ -141,7 +141,7 @@ TEST(TraceIntegration, DetachedSinkCostsNothingAndRecordsNothing) {
   // with a sink produces the same metrics.
   const auto bare = core::run_trial(core::Protocol::kSt, config);
   auto positions = core::deploy(config);
-  core::StEngine engine(std::move(positions), config.protocol, config.radio, config.seed);
+  proto::StEngine engine(std::move(positions), config.protocol, config.radio, config.seed);
   core::TraceSink sink;
   engine.set_trace(&sink);
   const auto traced = engine.run();

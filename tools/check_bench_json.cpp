@@ -6,8 +6,8 @@
 //
 // The schema is auto-detected from line 1.  A firefly-soak-v1 file (written
 // by `firefly_cli --service --soak-out`) is validated structurally instead:
-//   * line 1 is the soak meta record: git_sha, compiler, protocol plus
-//     numeric n, duration_slots and window_slots,
+//   * line 1 is the soak meta record: git_sha, compiler, a known protocol
+//     id plus numeric n, duration_slots and window_slots,
 //   * every further line is a "window" record or the single trailing
 //     "summary" record, and nothing follows the summary,
 //   * at least one window was emitted.
@@ -20,6 +20,9 @@
 //   * line 1 is the meta record: schema == "firefly-bench-v1" plus bench,
 //     git_sha and compiler keys,
 //   * every line carries a "bench" key,
+//   * every "series" record names a known protocol id, and when the meta
+//     record declares a "protocols" array, each record's protocol is a
+//     member of it (the sweep axis and the records must agree),
 //   * with --require-series, at least one line has "protocol" and "n"
 //     (a sweep-series record, as fig3/fig4 emit).
 //
@@ -29,18 +32,42 @@
 // than --max-regress percent (default 25).  Comparing the *ratio* rather
 // than absolute wall-clock makes the gate machine-speed independent.
 // Exit 0 on success, 1 on any violation (first violation is reported).
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
 
-// Minimal JSON validator; collects top-level object keys and the string
-// value of top-level string fields (enough to check the schema tag).
+// Display ids of the registered protocol backends, mirroring
+// proto::Registry::instance() (src/proto/registry.cpp).  Kept as a literal
+// so this tool stays free of simulator dependencies; a new backend must be
+// added here for its bench output to validate.
+constexpr const char* kKnownProtocols[] = {"FST", "ST", "Birthday", "DESYNC"};
+
+bool known_protocol(const std::string& id) {
+  for (const char* p : kKnownProtocols)
+    if (id == p) return true;
+  return false;
+}
+
+std::string known_protocols_list() {
+  std::string out;
+  for (const char* p : kKnownProtocols) {
+    if (!out.empty()) out += ", ";
+    out += p;
+  }
+  return out;
+}
+
+// Minimal JSON validator; collects top-level object keys, the string
+// value of top-level string fields (enough to check the schema tag) and
+// the elements of top-level arrays of strings (the meta "protocols" axis).
 class LineParser {
  public:
   explicit LineParser(const std::string& line) : p_(line.data()), end_(p_ + line.size()) {}
@@ -64,6 +91,15 @@ class LineParser {
     for (const auto& [k, v] : top_fields_)
       if (k == key) return v;
     return {};
+  }
+
+  /// Elements of a top-level array-of-strings field (empty when absent,
+  /// not an array, or holding non-string elements).
+  [[nodiscard]] const std::vector<std::string>& array_value(const std::string& key) const {
+    static const std::vector<std::string> kEmpty;
+    for (const auto& [k, v] : top_arrays_)
+      if (k == key) return v;
+    return kEmpty;
   }
 
   /// Value of a top-level numeric field; false when absent or not a number.
@@ -149,7 +185,7 @@ class LineParser {
     if (p_ == end_) return false;
     switch (*p_) {
       case '{': return parse_object(false);
-      case '[': return parse_array();
+      case '[': return parse_array(nullptr);
       case '"': return parse_string(string_out);
       case 't': return parse_literal("true");
       case 'f': return parse_literal("false");
@@ -158,16 +194,31 @@ class LineParser {
     }
   }
 
-  bool parse_array() {
+  /// With `strings_out`, collect every element that is a string; a single
+  /// non-string element clears the collection (mixed arrays are not a
+  /// string axis, but still valid JSON).
+  bool parse_array(std::vector<std::string>* strings_out) {
     if (*p_ != '[') return false;
     ++p_;
     skip_ws();
     if (p_ != end_ && *p_ == ']') { ++p_; return true; }
+    bool all_strings = true;
     while (true) {
-      if (!parse_value(nullptr)) return false;
+      skip_ws();
+      std::string element;
+      const bool is_string = p_ != end_ && *p_ == '"';
+      if (!parse_value(is_string ? &element : nullptr)) return false;
+      if (strings_out != nullptr) {
+        if (is_string) strings_out->push_back(std::move(element));
+        else all_strings = false;
+      }
       skip_ws();
       if (p_ == end_) return false;
-      if (*p_ == ']') { ++p_; return true; }
+      if (*p_ == ']') {
+        ++p_;
+        if (strings_out != nullptr && !all_strings) strings_out->clear();
+        return true;
+      }
       if (*p_ != ',') return false;
       ++p_;
     }
@@ -185,9 +236,17 @@ class LineParser {
       skip_ws();
       if (p_ == end_ || *p_ != ':') return false;
       ++p_;
-      std::string value;
-      if (!parse_value(top_level ? &value : nullptr)) return false;
-      if (top_level) top_fields_.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (top_level && p_ != end_ && *p_ == '[') {
+        std::vector<std::string> elements;
+        if (!parse_array(&elements)) return false;
+        top_fields_.emplace_back(key, std::string());
+        top_arrays_.emplace_back(std::move(key), std::move(elements));
+      } else {
+        std::string value;
+        if (!parse_value(top_level ? &value : nullptr)) return false;
+        if (top_level) top_fields_.emplace_back(std::move(key), std::move(value));
+      }
       skip_ws();
       if (p_ == end_) return false;
       if (*p_ == '}') { ++p_; return true; }
@@ -199,6 +258,7 @@ class LineParser {
   const char* p_;
   const char* end_;
   std::vector<std::pair<std::string, std::string>> top_fields_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> top_arrays_;
 };
 
 int fail(const std::string& path, std::size_t line_no, const std::string& why) {
@@ -206,11 +266,15 @@ int fail(const std::string& path, std::size_t line_no, const std::string& why) {
   return 1;
 }
 
+/// Ratio key of one speedup record: which protocol's sweep, at which n.
+/// Baselines predating the protocol axis carry "ST" implicitly.
+using SpeedupKey = std::pair<std::string, long>;
+
 /// Validate `path` line by line; on success also return the wheel_ms/heap_ms
-/// ratio of every "speedup" record, keyed by n.  Returns false after printing
-/// the first violation.
+/// ratio of every "speedup" record, keyed by (protocol, n).  Returns false
+/// after printing the first violation.
 bool validate_file(const std::string& path, bool require_series,
-                   std::map<long, double>* wheel_heap_ratio, std::size_t* records_out,
+                   std::map<SpeedupKey, double>* wheel_heap_ratio, std::size_t* records_out,
                    std::size_t* series_out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -220,6 +284,7 @@ bool validate_file(const std::string& path, bool require_series,
   std::string line;
   std::size_t line_no = 0;
   std::size_t series_records = 0;
+  std::vector<std::string> meta_protocols;  // declared sweep axis (may be empty)
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) { fail(path, line_no, "empty line"); return false; }
@@ -235,10 +300,38 @@ bool validate_file(const std::string& path, bool require_series,
           fail(path, line_no, std::string("meta record missing \"") + key + "\"");
           return false;
         }
+      if (parser.has_key("protocols")) {
+        meta_protocols = parser.array_value("protocols");
+        if (meta_protocols.empty()) {
+          fail(path, line_no, "meta \"protocols\" is not a non-empty string array");
+          return false;
+        }
+        for (const std::string& id : meta_protocols)
+          if (!known_protocol(id)) {
+            fail(path, line_no, "meta \"protocols\" names unknown protocol \"" + id +
+                                    "\" (known: " + known_protocols_list() + ")");
+            return false;
+          }
+      }
     }
     if (!parser.has_key("bench")) {
       fail(path, line_no, "record missing \"bench\" key");
       return false;
+    }
+    if (line_no > 1 && parser.has_key("protocol")) {
+      const std::string id = parser.string_value("protocol");
+      if (!known_protocol(id)) {
+        fail(path, line_no, "record names unknown protocol \"" + id +
+                                "\" (known: " + known_protocols_list() + ")");
+        return false;
+      }
+      if (!meta_protocols.empty() &&
+          std::find(meta_protocols.begin(), meta_protocols.end(), id) ==
+              meta_protocols.end()) {
+        fail(path, line_no, "record protocol \"" + id +
+                                "\" is not in the meta \"protocols\" axis");
+        return false;
+      }
     }
     if (parser.has_key("protocol") && parser.has_key("n")) ++series_records;
     if (wheel_heap_ratio != nullptr && parser.string_value("series") == "speedup") {
@@ -249,7 +342,9 @@ bool validate_file(const std::string& path, bool require_series,
         return false;
       }
       if (heap <= 0.0) { fail(path, line_no, "speedup record has heap_ms <= 0"); return false; }
-      (*wheel_heap_ratio)[static_cast<long>(n)] = wheel / heap;
+      std::string id = parser.string_value("protocol");
+      if (id.empty()) id = "ST";  // pre-axis baselines are ST-only
+      (*wheel_heap_ratio)[SpeedupKey{std::move(id), static_cast<long>(n)}] = wheel / heap;
     }
   }
   if (line_no == 0) { fail(path, 1, "file is empty"); return false; }
@@ -288,6 +383,12 @@ bool validate_soak_file(const std::string& path) {
           fail(path, line_no, std::string("soak meta record missing \"") + key + "\"");
           return false;
         }
+      if (!known_protocol(parser.string_value("protocol"))) {
+        fail(path, line_no, "soak meta record names unknown protocol \"" +
+                                parser.string_value("protocol") +
+                                "\" (known: " + known_protocols_list() + ")");
+        return false;
+      }
       for (const char* key : {"n", "duration_slots", "window_slots"}) {
         double v = 0.0;
         if (!parser.number_value(key, &v) || v <= 0.0) {
@@ -370,23 +471,24 @@ int main(int argc, char** argv) {
     return validate_soak_file(path) ? 0 : 1;
   }
 
-  std::map<long, double> ratios;
+  std::map<SpeedupKey, double> ratios;
   std::size_t records = 0, series = 0;
   if (!validate_file(path, require_series, &ratios, &records, &series)) return 1;
 
   if (!baseline_path.empty()) {
-    std::map<long, double> base_ratios;
+    std::map<SpeedupKey, double> base_ratios;
     if (!validate_file(baseline_path, false, &base_ratios, nullptr, nullptr)) return 1;
     std::size_t compared = 0;
-    for (const auto& [n, base] : base_ratios) {
-      const auto it = ratios.find(n);
+    for (const auto& [key, base] : base_ratios) {
+      const auto it = ratios.find(key);
       if (it == ratios.end()) continue;  // trimmed CI runs cover a prefix of n
       ++compared;
       const double allowed = base * (1.0 + max_regress_pct / 100.0);
       if (it->second > allowed) {
-        std::cerr << path << ": wheel/heap ratio regressed at n=" << n << ": "
-                  << it->second << " > " << base << " +" << max_regress_pct
-                  << "% (allowed " << allowed << ", baseline " << baseline_path << ")\n";
+        std::cerr << path << ": wheel/heap ratio regressed for " << key.first
+                  << " at n=" << key.second << ": " << it->second << " > " << base
+                  << " +" << max_regress_pct << "% (allowed " << allowed
+                  << ", baseline " << baseline_path << ")\n";
         return 1;
       }
     }
