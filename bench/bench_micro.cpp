@@ -199,8 +199,7 @@ void BM_RadioSlotFlush(benchmark::State& state) {
   util::Rng rng(5);
   const std::size_t n = 200;
   for (std::uint32_t id = 0; id < n; ++id) {
-    radio.add_device(id, {rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)},
-                     [](const mac::Reception&) {});
+    radio.add_device(id, {rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)});
   }
   radio.rebuild();
   std::uint64_t slot = 1;
@@ -230,8 +229,7 @@ void BM_RadioBatchedDeliverySweep(benchmark::State& state) {
   util::Rng rng(7);
   const std::size_t n = 1000;
   for (std::uint32_t id = 0; id < n; ++id) {
-    radio.add_device(id, {rng.uniform(0.0, 450.0), rng.uniform(0.0, 450.0)},
-                     [](const mac::Reception&) {});
+    radio.add_device(id, {rng.uniform(0.0, 450.0), rng.uniform(0.0, 450.0)});
   }
   radio.rebuild();
   std::uint64_t slot = 1;
@@ -248,6 +246,28 @@ void BM_RadioBatchedDeliverySweep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * txs));
 }
 BENCHMARK(BM_RadioBatchedDeliverySweep)->Arg(32)->Arg(256);
+
+// The callback sweep head-to-head: one full trial per device core.  kStruct
+// keeps the PR-5-faithful reference leg (per-record type-erased dispatch over
+// the fat Device structs); kSoa sweeps the same batches over DeviceHot's flat
+// arrays with in-sweep neighbour-table prefetch.  The ratio between the two
+// is the microbenchmark view of BENCH_PR9.json's callback_sweep records.
+void BM_CallbackSweep(benchmark::State& state, core::DeviceCore device_core) {
+  for (auto _ : state) {
+    core::ScenarioConfig config;
+    config.n = 200;
+    config.seed = 21;
+    config.area_policy = core::AreaPolicy::kFixed;
+    config.protocol.max_periods = 60;
+    config.protocol.stop_on_convergence = false;
+    config.protocol.device_core = device_core;
+    std::unique_ptr<core::EngineBase> engine = proto::Registry::instance().make(
+        "fst", core::deploy(config), config.protocol, config.radio, config.seed);
+    benchmark::DoNotOptimize(engine->run());
+  }
+}
+BENCHMARK_CAPTURE(BM_CallbackSweep, struct_core, core::DeviceCore::kStruct);
+BENCHMARK_CAPTURE(BM_CallbackSweep, soa_core, core::DeviceCore::kSoa);
 
 // One full small-network trial through the registry — the cost of a
 // protocol end to end (build, run to its own completion criterion or the

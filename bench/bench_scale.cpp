@@ -11,8 +11,13 @@
 //                 candidate-enumeration speedup (grid_vs_dense).
 //   grid+wheel  — spatial index plus the slot-calendar scheduler: the
 //                 production path; wheel_vs_heap isolates the scheduler win.
+//   grid+wheel+struct — production index/scheduler but the reference struct
+//                 device core (per-record type-erased callback dispatch over
+//                 the fat Device structs, as before the batched SoA engine);
+//                 struct_vs_soa isolates the batched-callback/SoA win and is
+//                 emitted as the "callback_sweep" series.
 //
-// All three must produce bit-identical RunMetrics (asserted per trial and
+// All four must produce bit-identical RunMetrics (asserted per trial and
 // reported in the JSON as `metrics_identical`), so any speedup is a pure
 // optimisation.
 //
@@ -20,7 +25,8 @@
 //   FIREFLY_BENCH_MAX_N=2000 bench_scale      # trim the sweep
 //
 // JSONL output (firefly-bench-v1): one "scale" record per (n, mode, trial)
-// with the measured wall_ms, then one "speedup" record per n.  Wall-clock
+// with the measured wall_ms, then one "speedup" and one "callback_sweep"
+// record per n.  Wall-clock
 // fields make this file machine-speed dependent — regression checks should
 // compare the *ratios* (see tools/check_bench_json --baseline), not the
 // absolute timings.
@@ -46,13 +52,24 @@ struct Mode {
   const char* name;
   phy::SpatialIndex index;
   sim::SchedulerKind scheduler;
+  core::DeviceCore device_core;
 };
 
 constexpr Mode kModes[] = {
-    {"dense", phy::SpatialIndex::kDense, sim::SchedulerKind::kHeap},
-    {"grid", phy::SpatialIndex::kGrid, sim::SchedulerKind::kHeap},
-    {"grid+wheel", phy::SpatialIndex::kGrid, sim::SchedulerKind::kWheel},
+    {"dense", phy::SpatialIndex::kDense, sim::SchedulerKind::kHeap,
+     core::DeviceCore::kSoa},
+    {"grid", phy::SpatialIndex::kGrid, sim::SchedulerKind::kHeap,
+     core::DeviceCore::kSoa},
+    {"grid+wheel", phy::SpatialIndex::kGrid, sim::SchedulerKind::kWheel,
+     core::DeviceCore::kSoa},
+    // The callback-sweep reference: same spatial index and scheduler as the
+    // production mode, but hot device state in the fat structs with
+    // per-record type-erased dispatch (the pre-batching engine).  The
+    // soa/struct wall-clock ratio is the "callback_sweep" series.
+    {"grid+wheel+struct", phy::SpatialIndex::kGrid, sim::SchedulerKind::kWheel,
+     core::DeviceCore::kStruct},
 };
+constexpr std::size_t kModeCount = sizeof(kModes) / sizeof(kModes[0]);
 
 struct TrialResult {
   double wall_ms{0.0};
@@ -68,6 +85,7 @@ TrialResult run_one(core::Protocol protocol, std::size_t n, std::size_t trial,
                                   (static_cast<std::uint64_t>(n) << 20) | trial);
   config.radio.spatial_index = mode.index;
   config.protocol.scheduler = mode.scheduler;
+  config.protocol.device_core = mode.device_core;
 
   TrialResult result;
   const auto start = std::chrono::steady_clock::now();
@@ -112,19 +130,21 @@ int main(int argc, char** argv) {
       bench::bench_protocols({core::Protocol::kSt});
   json.write_meta(protocols);
 
-  util::Table table("bench_scale — wall-clock: dense+heap vs grid+heap vs grid+wheel");
+  util::Table table(
+      "bench_scale — wall-clock: dense+heap vs grid+heap vs grid+wheel vs struct core");
   table.set_headers({"protocol", "N", "trials", "dense ms", "grid ms", "wheel ms",
-                     "grid/dense", "wheel/heap", "identical"});
+                     "struct ms", "grid/dense", "wheel/heap", "struct/soa",
+                     "identical"});
 
   bool all_identical = true;
   for (const core::Protocol protocol : protocols) {
     const char* protocol_id = core::to_string(protocol);
     for (const std::size_t n : ns) {
-      double mode_ms[3] = {0.0, 0.0, 0.0};
+      double mode_ms[kModeCount] = {};
       bool identical = true;
       for (std::size_t trial = 0; trial < trials; ++trial) {
         std::string reference_json;
-        for (std::size_t m = 0; m < 3; ++m) {
+        for (std::size_t m = 0; m < kModeCount; ++m) {
           const Mode& mode = kModes[m];
           std::cerr << "bench_scale: protocol=" << protocol_id << " n=" << n
                     << " mode=" << mode.name << " trial=" << trial << "..." << std::flush;
@@ -153,11 +173,13 @@ int main(int argc, char** argv) {
       }
       for (double& ms : mode_ms) ms /= static_cast<double>(trials);
       const double dense_ms = mode_ms[0];
-      const double heap_ms = mode_ms[1];   // grid + heap
-      const double wheel_ms = mode_ms[2];  // grid + wheel
+      const double heap_ms = mode_ms[1];    // grid + heap
+      const double wheel_ms = mode_ms[2];   // grid + wheel (SoA core)
+      const double struct_ms = mode_ms[3];  // grid + wheel, struct core
       const double grid_vs_dense = heap_ms > 0.0 ? dense_ms / heap_ms : 0.0;
       const double wheel_vs_heap = wheel_ms > 0.0 ? heap_ms / wheel_ms : 0.0;
       const double speedup = wheel_ms > 0.0 ? dense_ms / wheel_ms : 0.0;
+      const double struct_vs_soa = wheel_ms > 0.0 ? struct_ms / wheel_ms : 0.0;
       all_identical = all_identical && identical;
 
       json.write_object([&](obs::JsonWriter& w) {
@@ -173,10 +195,24 @@ int main(int argc, char** argv) {
         w.field("speedup", speedup);
         w.field("metrics_identical", identical);
       });
+      // In-run device-core head-to-head: same binary, same machine, same
+      // slot stream — the struct/soa wall-clock ratio is machine-speed
+      // independent, which is what the CI baseline gate compares.
+      json.write_object([&](obs::JsonWriter& w) {
+        w.field("series", "callback_sweep");
+        w.field("protocol", protocol_id);
+        w.field("n", static_cast<std::uint64_t>(n));
+        w.field("trials", static_cast<std::uint64_t>(trials));
+        w.field("struct_ms", struct_ms);
+        w.field("soa_ms", wheel_ms);
+        w.field("struct_vs_soa", struct_vs_soa);
+        w.field("metrics_identical", identical);
+      });
       table.add_row({protocol_id, util::Table::num(n), util::Table::num(trials),
                      util::Table::num(dense_ms), util::Table::num(heap_ms),
-                     util::Table::num(wheel_ms), util::Table::num(grid_vs_dense),
-                     util::Table::num(wheel_vs_heap), identical ? "yes" : "NO"});
+                     util::Table::num(wheel_ms), util::Table::num(struct_ms),
+                     util::Table::num(grid_vs_dense), util::Table::num(wheel_vs_heap),
+                     util::Table::num(struct_vs_soa), identical ? "yes" : "NO"});
     }
   }
 

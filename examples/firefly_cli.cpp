@@ -4,45 +4,12 @@
 //   firefly_cli --protocol both --n 200 --area fixed --epsilon 0.1
 //   firefly_cli --protocol st --n 60 --mobility 1.5 --periods 100
 //
-// Flags (defaults in brackets):
-//   --protocol <name>|both|all [both]  any registered protocol (fst, st,
-//                                   birthday, desync — see --help for the
-//                                   live list); unknown names are an error
-//   --n <devices> [50]
-//   --seed <u64> [1]                --trials <count> [1]
-//   --area scaled|fixed [scaled]    --epsilon <PRC ε> [0.05]
-//   --period <slots> [100]          --periods <max periods> [400]
-//   --mobility <m/s> [0]            --csv <path>  (append result rows)
-//   --scheduler wheel|heap [wheel]  event scheduler (identical results;
-//                                   heap is the A/B reference baseline)
-//
-// Fault injection (any non-zero knob turns the subsystem on; the run then
-// observes through the faults instead of stopping at convergence):
-//   --churn <crashes/min> [0]       --downtime <mean ms> [2000]
-//   --churn-stop <ms> [-1 = never]  --drift <max ppm> [0]
-//   --drop <probability> [0]        --fade-rate <fades/min> [0]
-//   --fade-ms <mean ms> [500]       --fade-depth <dB> [60]
-//   (--churn-rate is an alias for --churn, matching the service-mode docs)
-//
-// Service mode (long-lived soak; see DESIGN.md "Service mode"):
-//   --service                 run one open-ended soak instead of trials: the
-//                             run never stops at convergence, churn regenerates
-//                             forever, telemetry streams one window at a time
-//   --duration-slots <n>      soak horizon in 1 ms slots [1000000]
-//   --window-slots <n>        telemetry window length [1000]
-//   --snapshot-every <slots>  rollback-snapshot cadence [0 = never]
-//   --soak-out <path>         stream firefly-soak-v1 JSONL (header line, one
-//                             line per window, summary line)
-//
-// Observability (see DESIGN.md "Observability"):
-//   --telemetry               print a metric-registry summary after the runs
-//   --trace-chrome <path>     write a Chrome trace-event file of the
-//                             instrumented spans (load in ui.perfetto.dev)
-//   --metrics-out <path>      JSONL: one run-metrics record per trial plus a
-//                             final registry snapshot
-//   --trace-csv <path>        protocol milestone trace (fires, merges, ...)
-//   --trace-capacity <n>      ring-buffer the milestone trace to the most
-//                             recent n events [0 = unlimited]
+// The full flag table lives in `kFlagSpecs` below — the single source that
+// generates `--help` AND validates every parsed flag, so the help text can
+// no longer drift from what the binary actually accepts.  Run with --help
+// for the current table and the live protocol registry.
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
@@ -60,28 +27,110 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+/// One CLI flag: the single source of truth for `--help` and for rejecting
+/// unknown flags.  `arg` is the value placeholder (nullptr for booleans),
+/// `group` batches related flags under one heading in the help output.
+struct FlagSpec {
+  const char* name;
+  const char* arg;   // nullptr: bare boolean flag
+  const char* help;  // one line, defaults in brackets
+  int group;
+};
+
+constexpr const char* kFlagGroups[] = {
+    "scenario",
+    "fault injection (any non-zero knob turns the subsystem on)",
+    "service mode (long-lived soak; see DESIGN.md \"Service mode\")",
+    "observability (see DESIGN.md \"Observability\")",
+    "general",
+};
+
+constexpr FlagSpec kFlagSpecs[] = {
+    {"protocol", "NAME|both|all", "registered protocol, or a shorthand [both]", 0},
+    {"n", "DEVICES", "population size [50]", 0},
+    {"seed", "U64", "base RNG seed; trial t runs with seed+t [1]", 0},
+    {"trials", "COUNT", "independent trials per protocol [1]", 0},
+    {"area", "scaled|fixed", "deployment area policy [scaled]", 0},
+    {"epsilon", "E", "PRC coupling strength [0.05]", 0},
+    {"period", "SLOTS", "firing period in 1 ms slots [100]", 0},
+    {"periods", "MAX", "horizon in firing periods [400]", 0},
+    {"mobility", "MPS", "random-waypoint speed, 0 = static [0]", 0},
+    {"scheduler", "wheel|heap", "event scheduler; identical results [wheel]", 0},
+    {"device-core", "soa|struct", "hot device state layout; identical results [soa]", 0},
+    {"csv", "PATH", "append the result table as CSV rows", 0},
+    {"churn", "PER_MIN", "crash rate [0]", 1},
+    {"churn-rate", "PER_MIN", "alias for --churn (service-mode docs)", 1},
+    {"downtime", "MS", "mean downtime before recovery [2000]", 1},
+    {"churn-stop", "MS", "stop churn after this instant [-1 = never]", 1},
+    {"drift", "PPM", "max oscillator drift [0]", 1},
+    {"drop", "P", "i.i.d. reception drop probability [0]", 1},
+    {"fade-rate", "PER_MIN", "deep-fade episode rate [0]", 1},
+    {"fade-ms", "MS", "mean fade duration [500]", 1},
+    {"fade-depth", "DB", "fade attenuation depth [60]", 1},
+    {"service", nullptr, "one open-ended soak instead of the trial loop", 2},
+    {"duration-slots", "N", "soak horizon in 1 ms slots [1000000]", 2},
+    {"window-slots", "N", "telemetry window length [1000]", 2},
+    {"snapshot-every", "SLOTS", "rollback-snapshot cadence [0 = never]", 2},
+    {"dedup-clear-periods", "N", "ST dedup-set prune cadence in periods [8]", 2},
+    {"relabel-cap", "N", "headless re-elections per period, 0 = unlimited [8]", 2},
+    {"soak-out", "PATH", "stream firefly-soak-v1 JSONL windows", 2},
+    {"telemetry", nullptr, "print a metric-registry summary after the runs", 3},
+    {"trace-chrome", "PATH", "Chrome trace-event file (load in ui.perfetto.dev)", 3},
+    {"metrics-out", "PATH", "JSONL: run-metrics per trial + registry snapshot", 3},
+    {"trace-csv", "PATH", "protocol milestone trace (fires, merges, ...)", 3},
+    {"trace-capacity", "N", "ring-buffer the milestone trace [0 = unlimited]", 3},
+    {"help", nullptr, "print this flag table and the protocol registry", 4},
+};
+
+void print_help(const firefly::util::Flags& flags) {
+  using namespace firefly;
+  std::cout << "usage: " << flags.program() << " [--flag value ...]\n";
+  for (std::size_t g = 0; g < std::size(kFlagGroups); ++g) {
+    std::cout << kFlagGroups[g] << ":\n";
+    for (const FlagSpec& spec : kFlagSpecs) {
+      if (static_cast<std::size_t>(spec.group) != g) continue;
+      std::string left = std::string("--") + spec.name;
+      if (spec.arg != nullptr) left += std::string(" <") + spec.arg + ">";
+      std::cout << "  " << left;
+      for (std::size_t pad = left.size(); pad < 30; ++pad) std::cout << ' ';
+      std::cout << spec.help << '\n';
+    }
+  }
+  std::cout << "protocols (from proto::Registry):\n";
+  for (const std::string& name : proto::Registry::instance().names()) {
+    const proto::ProtocolInfo* info = proto::Registry::instance().find(name);
+    std::cout << "  " << name << " — " << info->summary << '\n';
+  }
+}
+
+/// Reject flags outside the table — a typo must not silently run defaults.
+bool reject_unknown_flags(const firefly::util::Flags& flags) {
+  bool ok = true;
+  for (const std::string& name : flags.names()) {
+    const bool known =
+        std::any_of(std::begin(kFlagSpecs), std::end(kFlagSpecs),
+                    [&](const FlagSpec& spec) { return name == spec.name; });
+    if (!known) {
+      std::cerr << "unknown flag '--" << name << "' (see --help)\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace firefly;
   const util::Flags flags(argc, argv);
 
   if (flags.has("help")) {
-    std::cout << "usage: " << flags.program()
-              << " [--protocol NAME|both|all] [--n N] [--seed S] [--trials T]\n"
-                 "       [--area scaled|fixed] [--epsilon E] [--period SLOTS]\n"
-                 "       [--periods MAX] [--mobility MPS] [--csv PATH] [--scheduler wheel|heap]\n"
-                 "       [--churn PER_MIN] [--downtime MS] [--churn-stop MS] [--drift PPM]\n"
-                 "       [--drop P] [--fade-rate PER_MIN] [--fade-ms MS] [--fade-depth DB]\n"
-                 "       [--telemetry] [--trace-chrome PATH] [--metrics-out PATH]\n"
-                 "       [--trace-csv PATH] [--trace-capacity N]\n"
-                 "       [--service] [--duration-slots N] [--window-slots N]\n"
-                 "       [--snapshot-every SLOTS] [--soak-out PATH]\n"
-                 "protocols (from proto::Registry):\n";
-    for (const std::string& name : proto::Registry::instance().names()) {
-      const proto::ProtocolInfo* info = proto::Registry::instance().find(name);
-      std::cout << "  " << name << " — " << info->summary << '\n';
-    }
+    print_help(flags);
     return 0;
   }
+  if (!reject_unknown_flags(flags)) return 2;
 
   core::ScenarioConfig base;
   base.n = static_cast<std::size_t>(flags.get("n", std::int64_t{50}));
@@ -100,6 +149,15 @@ int main(int argc, char** argv) {
     base.protocol.scheduler = *kind;
   } else {
     std::cerr << "unknown --scheduler '" << scheduler_arg << "' (expected: wheel, heap)\n";
+    return 2;
+  }
+  const std::string core_arg = flags.get("device-core", std::string("soa"));
+  if (core_arg == "soa") {
+    base.protocol.device_core = core::DeviceCore::kSoa;
+  } else if (core_arg == "struct") {
+    base.protocol.device_core = core::DeviceCore::kStruct;
+  } else {
+    std::cerr << "unknown --device-core '" << core_arg << "' (expected: soa, struct)\n";
     return 2;
   }
   fault::FaultPlan& faults = base.protocol.faults;

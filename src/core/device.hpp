@@ -6,6 +6,15 @@
 // every slot, the device stores the absolute slot of its next natural
 // firing, derives the counter on demand, and the engine reschedules the
 // firing event whenever a PRC jump moves it.
+//
+// Under the default SoA device core (ProtocolParams::device_core), the HOT
+// subset of these fields — oscillator slots, fire_event, down, drift,
+// fragment/fragment_size/is_head, the desync_* phase memory and the
+// neighbour table — lives in core::DeviceHot's flat arrays during a run and
+// the copies here are stale until EngineBase::devices() syncs them back.
+// Everything else (identity, position, ST tree/merge bookkeeping) is COLD
+// and this struct is its only storage in both modes.  Engines reach hot
+// fields exclusively through EngineBase's accessors.
 #pragma once
 
 #include <cstdint>

@@ -29,6 +29,7 @@ EngineBase::EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
       ranging_(&channel_->pathloss(), radio_params.tx_power),
       energy_(positions.size()),
       mobility_rng_(rng_factory_.make("core.mobility")) {
+  soa_ = params_.device_core == DeviceCore::kSoa;
   radio_.set_energy_meter(&energy_);
   devices_.reserve(positions.size());
   for (std::uint32_t id = 0; id < positions.size(); ++id) {
@@ -51,23 +52,14 @@ EngineBase::EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
         return (slot + offset) % params_.duty_period_slots < params_.duty_awake_slots;
       };
     }
-    radio_.add_device(
-        d.id, d.position,
-        [this, &d](const mac::Reception& r) {
-          if (d.down) return;  // the radio gates this too; belt and braces
-          update_neighbor(d, r);
-          on_reception(d, r);
-        },
-        std::move(listening));
+    radio_.add_device(d.id, d.position, std::move(listening));
   }
   radio_.rebuild();
-  // Cache warmer only — never observable in results.  Engine ids are dense
-  // indices (d.id == its devices_ slot), so rx_id indexes directly.
-  radio_.set_delivery_prefetch(
-      [this](std::uint32_t rx_id, const std::uint32_t* senders, std::size_t count) {
-        const Device& d = devices_[rx_id];
-        for (std::size_t i = 0; i < count; ++i) d.neighbors.prefetch(senders[i]);
-      });
+  // One call per slot hands the protocol every decoded reception at once;
+  // deliver_batched sweeps them in the radio's dispatch order.  Engine ids
+  // are dense indices (d.id == its devices_ slot), so rx_index indexes
+  // devices_ and the hot arrays directly.
+  radio_.set_delivery_sink([this](const mac::RxBatch& batch) { deliver_batched(batch); });
 
   if (params_.faults.enabled()) {
     injector_ = std::make_unique<fault::FaultInjector>(
@@ -96,6 +88,14 @@ EngineBase::EngineBase(std::vector<geo::Vec2> positions, ProtocolParams params,
       reliable_links_.emplace_back(u, v);
     }
   });
+
+  // Hot/cold split: carve the flat arrays and seed them from the structs,
+  // picking up every constructor-time write above (fragment labels, drift).
+  // From here on all hot reads and writes go through the accessors.
+  if (soa_) {
+    hot_.build(devices_.size());
+    hot_.load_from(devices_);
+  }
 }
 
 std::int64_t EngineBase::current_slot() const {
@@ -109,65 +109,65 @@ void EngineBase::set_telemetry(obs::Telemetry* telemetry) {
   radio_.set_telemetry(telemetry);
 }
 
-void EngineBase::schedule_fire(Device& device) {
-  if (device.down) return;
-  if (device.fire_event != 0) sim_.cancel(device.fire_event);
-  const sim::SimTime at = sim::SimTime{device.next_fire_slot * sim::kLteSlot.us};
-  device.fire_event = sim_.schedule_at(std::max(at, sim_.now()), [this, &device] {
-    device.fire_event = 0;
-    fire(device);
+void EngineBase::schedule_fire(std::uint32_t i) {
+  if (down(i)) return;
+  if (fire_event(i) != 0) sim_.cancel(fire_event(i));
+  const sim::SimTime at = sim::SimTime{next_fire_slot(i) * sim::kLteSlot.us};
+  fire_event(i) = sim_.schedule_at(std::max(at, sim_.now()), [this, i] {
+    fire_event(i) = 0;
+    fire(i);
   });
 }
 
-void EngineBase::fire(Device& device, std::uint32_t post_counter) {
-  if (device.down) return;
+void EngineBase::fire(std::uint32_t i, std::uint32_t post_counter) {
+  if (down(i)) return;
   const std::int64_t slot = current_slot();
-  device.last_fire_slot = slot;
-  device.refractory_until_slot = slot + params_.refractory_slots;
+  last_fire_slot(i) = slot;
+  refractory_until_slot(i) = slot + params_.refractory_slots;
   // A reachback-aligned absorption restarts the counter at the absorber's
   // clock offset so the next cycle fires simultaneously with it.
-  device.next_fire_slot =
+  next_fire_slot(i) =
       slot + params_.period_slots - static_cast<std::int64_t>(post_counter);
-  if (device.drift_ppm != 0.0) {
+  if (drift_ppm(i) != 0.0) {
     // Clock drift: a fast crystal (+ppm) completes its cycle early.  The
     // sub-slot skew accumulates in a residual and is applied one whole slot
     // at a time, so the drift the PRC must fight is exact over any horizon.
-    device.drift_residual +=
-        static_cast<double>(params_.period_slots) * device.drift_ppm * 1e-6;
-    const double whole = std::floor(device.drift_residual);
+    drift_residual(i) +=
+        static_cast<double>(params_.period_slots) * drift_ppm(i) * 1e-6;
+    const double whole = std::floor(drift_residual(i));
     if (whole != 0.0) {
-      device.next_fire_slot -= static_cast<std::int64_t>(whole);
-      device.drift_residual -= whole;
+      next_fire_slot(i) -= static_cast<std::int64_t>(whole);
+      drift_residual(i) -= whole;
     }
   }
-  emit_fire_broadcast(device);
-  detector_.record_fire(device.id, slot);
-  local_detector_.record_fire(device.id, slot);
+  emit_fire_broadcast(devices_[i]);
+  detector_.record_fire(i, slot);
+  local_detector_.record_fire(i, slot);
   if (fires_counter_ != nullptr) fires_counter_->inc();
-  trace(TraceKind::kFire, device.id, post_counter);
-  schedule_fire(device);
+  trace(TraceKind::kFire, i, post_counter);
+  schedule_fire(i);
 }
 
-std::uint32_t EngineBase::elapsed_slots(const mac::Reception& reception) const {
-  const std::int64_t sent_slot = reception.slot_start.us / sim::kLteSlot.us;
+std::uint32_t EngineBase::elapsed_slots(const mac::RxRecord& record) const {
+  const std::int64_t sent_slot = record.slot_start.us / sim::kLteSlot.us;
   const std::int64_t elapsed = current_slot() - sent_slot;
   return elapsed > 0 ? static_cast<std::uint32_t>(elapsed) : 0;
 }
 
-std::uint16_t EngineBase::counter_field(const Device& device) const {
-  return static_cast<std::uint16_t>(
-      device.counter_at(current_slot(), params_.period_slots) % params_.period_slots);
+std::uint16_t EngineBase::counter_field(std::uint32_t i) const {
+  return static_cast<std::uint16_t>(counter_at(i, current_slot()) % params_.period_slots);
 }
 
-void EngineBase::apply_pulse_coupling(Device& device, const mac::Reception& reception) {
+void EngineBase::apply_pulse_coupling(const mac::RxRecord& record) {
   const obs::ScopedTimer span(telemetry_, obs::SpanId::kPcoUpdate,
                               telemetry_ != nullptr ? sim_.now().as_milliseconds() : -1.0);
+  const std::uint32_t i = record.rx_index;
   const std::int64_t slot = current_slot();
-  if (device.refractory_at(slot)) return;
+  if (refractory_at(i, slot)) return;
   // Delay compensation: the pulse was transmitted `elapsed` slots ago, so
   // the PRC applies to the phase the receiver had at transmission time.
-  const std::uint32_t elapsed = elapsed_slots(reception);
-  const std::uint32_t counter = device.counter_at(slot, params_.period_slots);
+  const std::uint32_t elapsed = elapsed_slots(record);
+  const std::uint32_t counter = counter_at(i, slot);
   const std::uint32_t counter_then = counter > elapsed ? counter - elapsed : 0;
   const double theta =
       static_cast<double>(counter_then) / static_cast<double>(params_.period_slots);
@@ -180,31 +180,31 @@ void EngineBase::apply_pulse_coupling(Device& device, const mac::Reception& rece
     // to the absorbing sender's clock (reachback compensation — without it
     // a slotted radio accumulates one slot of skew per hop and global
     // alignment is unreachable for any pulse-coupled scheme).
-    if (device.fire_event != 0) {
-      sim_.cancel(device.fire_event);
-      device.fire_event = 0;
+    if (fire_event(i) != 0) {
+      sim_.cancel(fire_event(i));
+      fire_event(i) = 0;
     }
-    const Fields f = unpack(reception.payload);
+    const Fields f = unpack(record.payload);
     const std::uint32_t aligned = (f.c + elapsed) % params_.period_slots;
-    fire(device, aligned);
+    fire(i, aligned);
     return;
   }
-  device.next_fire_slot = slot + (params_.period_slots - new_counter);
-  schedule_fire(device);
+  next_fire_slot(i) = slot + (params_.period_slots - new_counter);
+  schedule_fire(i);
 }
 
-void EngineBase::adopt_counter(Device& device, std::uint32_t counter) {
-  if (device.down) return;
+void EngineBase::adopt_counter(std::uint32_t i, std::uint32_t counter) {
+  if (down(i)) return;
   const std::int64_t slot = current_slot();
   if (counter >= params_.period_slots) counter %= params_.period_slots;
-  device.next_fire_slot = slot + (params_.period_slots - counter);
-  trace(TraceKind::kAdopt, device.id, counter);
-  schedule_fire(device);
+  next_fire_slot(i) = slot + (params_.period_slots - counter);
+  trace(TraceKind::kAdopt, i, counter);
+  schedule_fire(i);
 }
 
-void EngineBase::update_neighbor(Device& device, const mac::Reception& reception) {
-  NeighborInfo& info = device.neighbors[reception.sender];
-  const double rx = reception.rx_power.value;
+void EngineBase::update_neighbor(const mac::RxRecord& record) {
+  NeighborInfo& info = neighbors(record.rx_index)[record.sender];
+  const double rx = record.rx_power.value;
   if (info.heard_count == 0) {
     info.weight_dbm = rx;
   } else {
@@ -214,8 +214,8 @@ void EngineBase::update_neighbor(Device& device, const mac::Reception& reception
   info.last_heard_slot = current_slot();
   // Sync pulses and discovery beacons carry (fragment, service); control
   // messages carry other fields, so only refresh from beacons.
-  if (reception.type == mac::PsType::kSyncPulse || reception.type == mac::PsType::kDiscovery) {
-    const Fields f = unpack(reception.payload);
+  if (record.type == mac::PsType::kSyncPulse || record.type == mac::PsType::kDiscovery) {
+    const Fields f = unpack(record.payload);
     info.fragment = f.a;
     info.service = f.b;
   }
@@ -230,9 +230,9 @@ bool EngineBase::discovery_complete() const {
   for (const auto& [u, v] : reliable_links_) {
     // A link with a crashed endpoint is waived: the survivor cannot be
     // expected to (re)discover a silent radio.
-    if (devices_[u].down || devices_[v].down) continue;
-    if (!devices_[u].neighbors.contains(v)) return false;
-    if (!devices_[v].neighbors.contains(u)) return false;
+    if (down(u) || down(v)) continue;
+    if (!neighbors(u).contains(v)) return false;
+    if (!neighbors(v).contains(u)) return false;
   }
   return true;
 }
@@ -332,10 +332,10 @@ RunMetrics EngineBase::run() {
 
 void EngineBase::start_run() {
   // Random initial phases (paper: devices start unsynchronised).
-  for (Device& d : devices_) {
-    d.next_fire_slot = static_cast<std::int64_t>(
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    next_fire_slot(i) = static_cast<std::int64_t>(
         control_rng_.uniform_index(params_.period_slots)) + 1;
-    schedule_fire(d);
+    schedule_fire(i);
   }
   [[maybe_unused]] const auto checker = sim_.schedule_periodic(
       sim::SimTime::milliseconds(params_.check_interval_slots),
@@ -391,12 +391,11 @@ void EngineBase::schedule_fault_events() {
 }
 
 void EngineBase::crash_device(std::uint32_t id) {
-  Device& d = devices_[id];
-  if (d.down) return;
-  d.down = true;
-  if (d.fire_event != 0) {
-    sim_.cancel(d.fire_event);
-    d.fire_event = 0;
+  if (down(id)) return;
+  down(id) = true;
+  if (fire_event(id) != 0) {
+    sim_.cancel(fire_event(id));
+    fire_event(id) = 0;
   }
   radio_.set_down(id, true);
   detector_.set_active(id, false);
@@ -406,23 +405,22 @@ void EngineBase::crash_device(std::uint32_t id) {
 }
 
 void EngineBase::recover_device(std::uint32_t id) {
-  Device& d = devices_[id];
-  if (!d.down) return;
-  d.down = false;
+  if (!down(id)) return;
+  down(id) = false;
   radio_.set_down(id, false);
   detector_.set_active(id, true);
   local_detector_.set_active(id, true);
   // Cold boot: volatile state is gone.  The crystal (and its drift) is the
   // same physical part, so drift_ppm survives.
-  d.neighbors.clear();
-  d.last_fire_slot = -1;
-  d.refractory_until_slot = -1;
-  d.drift_residual = 0.0;
-  d.next_fire_slot = current_slot() + 1 +
-                     static_cast<std::int64_t>(
-                         control_rng_.uniform_index(params_.period_slots));
-  schedule_fire(d);
-  on_recover(d);
+  neighbors(id).clear();
+  last_fire_slot(id) = -1;
+  refractory_until_slot(id) = -1;
+  drift_residual(id) = 0.0;
+  next_fire_slot(id) = current_slot() + 1 +
+                       static_cast<std::int64_t>(
+                           control_rng_.uniform_index(params_.period_slots));
+  schedule_fire(id);
+  on_recover(devices_[id]);
   ++recoveries_;
   trace(TraceKind::kRecover, id);
 }
@@ -495,8 +493,8 @@ void EngineBase::finalize_metrics(RunMetrics& metrics) const {
   metrics.repair_messages =
       repair_base_set_ ? traffic.rach2_tx - repair_rach2_base_ : 0;
   std::uint32_t alive = 0;
-  for (const Device& d : devices_) {
-    if (!d.down) ++alive;
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    if (!down(i)) ++alive;
   }
   metrics.alive_at_end = alive;
   // Partition diagnosis: connect the reliable links whose endpoints are both
@@ -504,13 +502,13 @@ void EngineBase::finalize_metrics(RunMetrics& metrics) const {
   // can merge them into a single synchronised fragment.
   graph::UnionFind components(devices_.size());
   for (const auto& [u, v] : reliable_links_) {
-    if (!devices_[u].down && !devices_[v].down) components.unite(u, v);
+    if (!down(u) && !down(v)) components.unite(u, v);
   }
   std::int64_t root = -1;
   bool split = false;
-  for (const Device& d : devices_) {
-    if (d.down) continue;
-    const std::uint32_t r = components.find(d.id);
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    if (down(i)) continue;
+    const std::uint32_t r = components.find(i);
     if (root < 0) {
       root = r;
     } else if (r != static_cast<std::uint32_t>(root)) {
@@ -520,13 +518,15 @@ void EngineBase::finalize_metrics(RunMetrics& metrics) const {
   }
   metrics.partitioned = split || alive == 0;
 
-  util::RunningStats neighbors;
+  util::RunningStats neighbor_counts;
   util::RunningStats service_peers;
   util::Sample rel_errors;
-  for (const Device& d : devices_) {
-    neighbors.add(static_cast<double>(d.neighbors.size()));
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    const Device& d = devices_[i];
+    const NeighborTable& table = neighbors(i);
+    neighbor_counts.add(static_cast<double>(table.size()));
     std::size_t peers = 0;
-    for (const auto& [other_id, info] : d.neighbors) {
+    for (const auto& [other_id, info] : table) {
       if (info.service == d.service) ++peers;
       const double true_dist =
           geo::distance(d.position, devices_[other_id].position);
@@ -540,7 +540,7 @@ void EngineBase::finalize_metrics(RunMetrics& metrics) const {
     }
     service_peers.add(static_cast<double>(peers));
   }
-  metrics.mean_neighbors_discovered = neighbors.mean();
+  metrics.mean_neighbors_discovered = neighbor_counts.mean();
   metrics.mean_service_peers = service_peers.mean();
   metrics.ranging_mean_abs_rel_error = rel_errors.mean();
   metrics.ranging_p90_rel_error = rel_errors.count() > 0 ? rel_errors.percentile(90.0) : 0.0;

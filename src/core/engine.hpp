@@ -3,18 +3,28 @@
 // `EngineBase` owns the whole simulated world of one trial: the event
 // scheduler, the Table I channel, the radio medium, the device array and
 // the convergence detector.  It derives from `proto::DiscoveryProtocol`
-// (proto/protocol.hpp), whose hooks — `on_start`, `on_reception`,
+// (proto/protocol.hpp), whose hooks — `on_start`, `deliver_batched`,
 // `emit_fire_broadcast`, convergence/metrics/snapshot participation — the
 // backends implement; the base supplies the event-driven oscillator
 // (schedule/reschedule/fire), neighbour-table maintenance with RSSI
 // ranging, periodic convergence checks and the final metrics sweep.
 // Backends are resolved by name or enum through `proto::Registry`.
+//
+// Hot state lives in one of two layouts selected by ProtocolParams::
+// device_core: the fat `Device` struct (reference) or the flat index-aligned
+// `DeviceHot` arrays (default, one RegionArena block per trial).  Every hot
+// field is reached through the accessors below, whose layout branch is
+// constant for the engine's lifetime — both cores execute the same logic in
+// the same order, so results are bit-identical by construction
+// (test_layout_equivalence enforces it byte-for-byte).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/device.hpp"
+#include "core/device_soa.hpp"
 #include "core/metrics.hpp"
 #include "core/params.hpp"
 #include "core/trace.hpp"
@@ -81,7 +91,13 @@ class EngineBase : public proto::DiscoveryProtocol {
     return service_snapshot_.get();
   }
 
-  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  /// Post-run inspection view.  Under the SoA core the structs are synced
+  /// from the hot arrays first, so readers always see current state; the
+  /// sync is a flat copy, cheap at inspection cadence (never in-loop).
+  [[nodiscard]] const std::vector<Device>& devices() const {
+    if (soa_) hot_.store_to(const_cast<EngineBase*>(this)->devices_);
+    return devices_;
+  }
   [[nodiscard]] const ProtocolParams& params() const { return params_; }
   /// RSSI ranging against this run's path-loss model; distance estimates
   /// are derived from NeighborInfo::weight_dbm on demand.
@@ -96,10 +112,91 @@ class EngineBase : public proto::DiscoveryProtocol {
   void set_telemetry(obs::Telemetry* telemetry);
 
  protected:
-  // The protocol hooks (on_start, on_reception, emit_fire_broadcast,
+  // The protocol hooks (on_start, deliver_batched, emit_fire_broadcast,
   // fill_protocol_metrics, fill_soak_window, protocol_complete,
   // requires_sync, on_recover, protocol_snapshot_word/restore_word) are
   // inherited from proto::DiscoveryProtocol; backends override them there.
+
+  // --- hot-state accessors (dual device core; see header note) ---
+  // One accessor per hot field; `i` is the dense device index (== Device::id).
+  // The soa_ branch is engine-constant, so it predicts perfectly and keeps a
+  // single copy of every protocol rule valid for both layouts.
+  [[nodiscard]] std::int64_t& next_fire_slot(std::uint32_t i) { return soa_ ? hot_.next_fire_slot[i] : devices_[i].next_fire_slot; }
+  [[nodiscard]] std::int64_t next_fire_slot(std::uint32_t i) const { return soa_ ? hot_.next_fire_slot[i] : devices_[i].next_fire_slot; }
+  [[nodiscard]] std::int64_t& last_fire_slot(std::uint32_t i) { return soa_ ? hot_.last_fire_slot[i] : devices_[i].last_fire_slot; }
+  [[nodiscard]] std::int64_t last_fire_slot(std::uint32_t i) const { return soa_ ? hot_.last_fire_slot[i] : devices_[i].last_fire_slot; }
+  [[nodiscard]] std::int64_t& refractory_until_slot(std::uint32_t i) { return soa_ ? hot_.refractory_until_slot[i] : devices_[i].refractory_until_slot; }
+  [[nodiscard]] std::int64_t refractory_until_slot(std::uint32_t i) const { return soa_ ? hot_.refractory_until_slot[i] : devices_[i].refractory_until_slot; }
+  [[nodiscard]] sim::EventId& fire_event(std::uint32_t i) { return soa_ ? hot_.fire_event[i] : devices_[i].fire_event; }
+  [[nodiscard]] double& drift_ppm(std::uint32_t i) { return soa_ ? hot_.drift_ppm[i] : devices_[i].drift_ppm; }
+  [[nodiscard]] double& drift_residual(std::uint32_t i) { return soa_ ? hot_.drift_residual[i] : devices_[i].drift_residual; }
+  [[nodiscard]] bool& down(std::uint32_t i) { return soa_ ? hot_.down[i] : devices_[i].down; }
+  [[nodiscard]] bool down(std::uint32_t i) const { return soa_ ? hot_.down[i] : devices_[i].down; }
+  [[nodiscard]] std::uint16_t& fragment(std::uint32_t i) { return soa_ ? hot_.fragment[i] : devices_[i].fragment; }
+  [[nodiscard]] std::uint16_t fragment(std::uint32_t i) const { return soa_ ? hot_.fragment[i] : devices_[i].fragment; }
+  [[nodiscard]] std::uint16_t& fragment_size(std::uint32_t i) { return soa_ ? hot_.fragment_size[i] : devices_[i].fragment_size; }
+  [[nodiscard]] std::uint16_t fragment_size(std::uint32_t i) const { return soa_ ? hot_.fragment_size[i] : devices_[i].fragment_size; }
+  [[nodiscard]] bool& is_head(std::uint32_t i) { return soa_ ? hot_.is_head[i] : devices_[i].is_head; }
+  [[nodiscard]] bool is_head(std::uint32_t i) const { return soa_ ? hot_.is_head[i] : devices_[i].is_head; }
+  [[nodiscard]] std::int64_t& desync_last_heard_slot(std::uint32_t i) { return soa_ ? hot_.desync_last_heard_slot[i] : devices_[i].desync_last_heard_slot; }
+  [[nodiscard]] std::int64_t desync_last_heard_slot(std::uint32_t i) const { return soa_ ? hot_.desync_last_heard_slot[i] : devices_[i].desync_last_heard_slot; }
+  [[nodiscard]] std::int64_t& desync_prev_slot(std::uint32_t i) { return soa_ ? hot_.desync_prev_slot[i] : devices_[i].desync_prev_slot; }
+  [[nodiscard]] std::int32_t& desync_residual(std::uint32_t i) { return soa_ ? hot_.desync_residual[i] : devices_[i].desync_residual; }
+  [[nodiscard]] std::int32_t desync_residual(std::uint32_t i) const { return soa_ ? hot_.desync_residual[i] : devices_[i].desync_residual; }
+  [[nodiscard]] bool& desync_adjusted(std::uint32_t i) { return soa_ ? hot_.desync_adjusted[i] : devices_[i].desync_adjusted; }
+  [[nodiscard]] NeighborTable& neighbors(std::uint32_t i) { return soa_ ? hot_.neighbors[i] : devices_[i].neighbors; }
+  [[nodiscard]] const NeighborTable& neighbors(std::uint32_t i) const { return soa_ ? hot_.neighbors[i] : devices_[i].neighbors; }
+
+  /// Oscillator counter of device `i` at `slot` (Device::counter_at over
+  /// whichever layout holds next_fire_slot).
+  [[nodiscard]] std::uint32_t counter_at(std::uint32_t i, std::int64_t slot) const {
+    const std::int64_t remaining = next_fire_slot(i) - slot;
+    if (remaining <= 0) return params_.period_slots;
+    if (remaining >= static_cast<std::int64_t>(params_.period_slots)) return 0;
+    return params_.period_slots - static_cast<std::uint32_t>(remaining);
+  }
+  [[nodiscard]] bool refractory_at(std::uint32_t i, std::int64_t slot) const {
+    return slot <= refractory_until_slot(i);
+  }
+
+  /// One pass over a slot's decoded batch: per record, in radio dispatch
+  /// order — skip crashed receivers, refresh the neighbour table, run the
+  /// protocol reaction `fn(record)`.  The SoA leg walks the flat arrays
+  /// directly and prefetches the neighbour slot kAhead records ahead; the
+  /// struct leg runs the identical sequence through a type-erased callable
+  /// (the per-pair API's dispatch cost, kept for an honest reference leg).
+  /// The two cores differ in layout and call overhead only, never in order.
+  template <typename Fn>
+  void sweep_batch(const mac::RxBatch& batch, Fn&& fn) {
+    constexpr std::size_t kAhead = 8;
+    const mac::RxRecord* rec = batch.records;
+    if (soa_) {
+      for (std::size_t k = 0; k < batch.count; ++k) {
+        if (k + kAhead < batch.count) {
+          const mac::RxRecord& p = rec[k + kAhead];
+          hot_.neighbors[p.rx_index].prefetch(p.sender);
+        }
+        const mac::RxRecord& r = rec[k];
+        if (hot_.down[r.rx_index]) continue;
+        update_neighbor(r);
+        fn(r);
+      }
+    } else {
+      const std::function<void(const mac::RxRecord&)> dispatch =
+          [this, &fn](const mac::RxRecord& r) {
+            if (devices_[r.rx_index].down) return;
+            update_neighbor(r);
+            fn(r);
+          };
+      for (std::size_t k = 0; k < batch.count; ++k) {
+        if (k + kAhead < batch.count) {
+          const mac::RxRecord& p = rec[k + kAhead];
+          devices_[p.rx_index].neighbors.prefetch(p.sender);
+        }
+        dispatch(rec[k]);
+      }
+    }
+  }
 
   /// Re-election storm brake.  Headless-fragment reclaims call this before
   /// relabelling; at most `relabel_cap_per_period` are granted per firing
@@ -129,19 +226,19 @@ class EngineBase : public proto::DiscoveryProtocol {
   // --- oscillator driving (shared) ---
   /// Current absolute slot.
   [[nodiscard]] std::int64_t current_slot() const;
-  /// (Re)schedule the device's natural firing event at next_fire_slot.
-  void schedule_fire(Device& device);
+  /// (Re)schedule device i's natural firing event at next_fire_slot(i).
+  void schedule_fire(std::uint32_t i);
   /// Fire now: broadcast, reset the counter (to `post_counter` — nonzero
   /// for reachback-aligned absorptions), refractory, inform the detector.
-  void fire(Device& device, std::uint32_t post_counter = 0);
+  void fire(std::uint32_t i, std::uint32_t post_counter = 0);
   /// Apply the PRC jump for one received pulse, compensating the slot(s) of
   /// delivery delay using the counter embedded in the PS; reschedules or
   /// fires on absorption.
-  void apply_pulse_coupling(Device& device, const mac::Reception& reception);
-  /// Slots elapsed since the reception's transmission slot.
-  [[nodiscard]] std::uint32_t elapsed_slots(const mac::Reception& reception) const;
-  /// The device's current counter, for embedding into outgoing PSs.
-  [[nodiscard]] std::uint16_t counter_field(const Device& device) const;
+  void apply_pulse_coupling(const mac::RxRecord& record);
+  /// Slots elapsed since the record's transmission slot.
+  [[nodiscard]] std::uint32_t elapsed_slots(const mac::RxRecord& record) const;
+  /// Device i's current counter, for embedding into outgoing PSs.
+  [[nodiscard]] std::uint16_t counter_field(std::uint32_t i) const;
   /// A fresh random preamble (LTE UEs draw RACH preambles uniformly from
   /// the cell's pool on every attempt).
   [[nodiscard]] mac::Preamble random_preamble(mac::RachCodec codec);
@@ -151,17 +248,19 @@ class EngineBase : public proto::DiscoveryProtocol {
     if (trace_ != nullptr) trace_->record(sim_.now().as_milliseconds(), device, kind, a, b);
   }
   /// Adopt an absolute counter value (ST merge sync); reschedules or fires.
-  void adopt_counter(Device& device, std::uint32_t counter);
+  void adopt_counter(std::uint32_t i, std::uint32_t counter);
 
   // --- discovery (shared) ---
-  /// Update the neighbour table from a decoded PS (any type).
-  void update_neighbor(Device& device, const mac::Reception& reception);
+  /// Update the receiver's neighbour table from a decoded PS (any type).
+  void update_neighbor(const mac::RxRecord& record);
 
   sim::Simulator sim_;
   std::unique_ptr<phy::Channel> channel_;
   mac::RadioMedium radio_;
   ProtocolParams params_;
   std::vector<Device> devices_;
+  DeviceHot hot_;     ///< flat hot arrays (built only under DeviceCore::kSoa)
+  bool soa_ = true;   ///< params_.device_core == kSoa, fixed at construction
   pco::ConvergenceDetector detector_;       ///< Fig. 3 criterion: global alignment
   pco::LocalSyncDetector local_detector_;   ///< diagnostic: per-link alignment
   util::RngFactory rng_factory_;

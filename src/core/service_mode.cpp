@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "proto/registry.hpp"
@@ -25,6 +26,13 @@ std::unique_ptr<EngineSnapshot> EngineBase::snapshot() {
   auto snap = std::make_unique<EngineSnapshot>();
   snap->sim = sim_.snapshot();
   snap->devices = devices_;
+  if (soa_) {
+    // The whole hot scalar state is one contiguous region: snapshot it as a
+    // flat byte copy.  Neighbour tables own heap storage, so they ride
+    // separately (element-wise copies, capacity-reusing on restore).
+    snap->hot_block.assign(hot_.block(), hot_.block() + hot_.block_bytes());
+    snap->hot_neighbors = hot_.neighbors;
+  }
   snap->detector = detector_;
   snap->local_detector = local_detector_;
   snap->control_rng = control_rng_;
@@ -69,6 +77,17 @@ void EngineBase::restore(const EngineSnapshot& snap) {
   // Element-wise: pending callbacks hold `&devices_[i]`, so the vector's
   // storage must not move.
   for (std::size_t i = 0; i < devices_.size(); ++i) devices_[i] = snap.devices[i];
+  if (soa_) {
+    assert(snap.hot_block.size() == hot_.block_bytes() &&
+           "hot-region layout must match the engine that took the snapshot");
+    std::memcpy(hot_.block(), snap.hot_block.data(), snap.hot_block.size());
+    // Element-wise for the same reason as devices_: assignment reuses each
+    // table's existing slot array, so a steady-state restore is
+    // allocation-free and the arrays never move.
+    for (std::size_t i = 0; i < hot_.neighbors.size(); ++i) {
+      hot_.neighbors[i] = snap.hot_neighbors[i];
+    }
+  }
   detector_ = *snap.detector;
   local_detector_ = *snap.local_detector;
   control_rng_ = *snap.control_rng;
@@ -217,7 +236,7 @@ ServiceReport EngineBase::run_service(const ServiceConfig& cfg,
     // fires or relays at most a couple of PSs per slot — 2·n covers the
     // worst storm the relabel cap admits).
     for (Device& d : devices_) {
-      d.neighbors.reserve(n > 0 ? n - 1 : 0);
+      neighbors(d.id).reserve(n > 0 ? n - 1 : 0);
       d.tree_neighbors.reserve(n > 0 ? n - 1 : 0);
     }
     radio_.reserve_delivery(static_cast<std::size_t>(2) * n);
@@ -263,8 +282,8 @@ ServiceReport EngineBase::run_service(const ServiceConfig& cfg,
     w.start_slot = slot;
     w.end_slot = window_end;
     std::uint32_t live = 0;
-    for (const Device& d : devices_) {
-      if (!d.down) ++live;
+    for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+      if (!down(i)) ++live;
     }
     w.live_devices = live;
     w.crashes = now.crashes - prev.crashes;

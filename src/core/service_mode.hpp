@@ -15,6 +15,7 @@
 // property test_service_mode pins down to byte-identical RunMetrics.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -78,6 +79,11 @@ struct ServiceReport {
 struct EngineSnapshot {
   sim::Simulator::Snapshot sim;
   std::vector<Device> devices;
+  /// SoA core only: the hot region's bytes, verbatim (one memcpy each way),
+  /// and the index-aligned neighbour tables (restored element-wise so their
+  /// capacity is reused — a restore allocates nothing at steady state).
+  std::vector<std::byte> hot_block;
+  std::vector<NeighborTable> hot_neighbors;
   std::optional<pco::ConvergenceDetector> detector;
   std::optional<pco::LocalSyncDetector> local_detector;
   std::optional<util::Rng> control_rng;

@@ -15,14 +15,13 @@ RadioMedium::RadioMedium(sim::Simulator* sim, phy::Channel* channel, double capt
   assert(sim_ != nullptr && channel_ != nullptr);
 }
 
-void RadioMedium::add_device(std::uint32_t id, geo::Vec2 position, ReceiveFn on_receive,
-                             ListenFn listening) {
+void RadioMedium::add_device(std::uint32_t id, geo::Vec2 position, ListenFn listening) {
   if (id >= id_to_index_.size()) {
     id_to_index_.resize(id + 1, std::numeric_limits<std::size_t>::max());
   }
   assert(id_to_index_[id] == std::numeric_limits<std::size_t>::max() && "duplicate device id");
   id_to_index_[id] = devices_.size();
-  devices_.push_back(DeviceEntry{id, position, std::move(on_receive), std::move(listening)});
+  devices_.push_back(DeviceEntry{id, position, std::move(listening)});
   if (devices_.back().listening) any_listening_ = true;
   down_.push_back(0);
   invalidate();
@@ -224,7 +223,7 @@ void RadioMedium::add_audible(std::size_t rx_index, const PendingTx& tx) {
   buckets_[rx_index].push_back(Audible{&tx, power});
 }
 
-void RadioMedium::deliver_batched() {
+void RadioMedium::deliver_fused() {
   // All delivery gates are static this slot (no faults, no duty cycling, no
   // crashed devices), so every candidate draws exactly one fade: one batched
   // RNG fill per sender, then a branch-free compare sweep over the skip
@@ -304,20 +303,13 @@ void RadioMedium::deliver_memoised_scalar() {
 
 void RadioMedium::resolve_receivers() {
   // Resolve same-resource collisions per receiver with the capture rule.
+  // Decoded receptions are appended to the slot's flat RxRecord batch in
+  // bucket order — exactly the order the old per-pair callbacks fired in —
+  // and the owner's sink consumes the whole batch after this returns.
   const double noise_mw = channel_->params().noise_floor.milliwatts();
   const std::size_t nbuckets = touched_.size();
-  // Warn the receiver one bucket ahead: the hook prefetches the neighbour
-  // table slots the protocol is about to probe, so the DRAM miss overlaps
-  // the current bucket's decode work instead of stalling update_neighbor.
-  const auto issue_prefetch = [this](std::size_t t) {
-    const auto& audible = buckets_[touched_[t]];
-    prefetch_ids_.clear();
-    for (const Audible& a : audible) prefetch_ids_.push_back(a.tx->sender);
-    prefetch_(devices_[touched_[t]].id, prefetch_ids_.data(), prefetch_ids_.size());
-  };
-  if (prefetch_ && nbuckets > 0) issue_prefetch(0);
+  rx_records_.clear();
   for (std::size_t t = 0; t < nbuckets; ++t) {
-    if (prefetch_ && t + 1 < nbuckets) issue_prefetch(t + 1);
     const std::size_t rx_index = touched_[t];
     auto& audible = buckets_[rx_index];
     const DeviceEntry& rx = devices_[rx_index];
@@ -406,8 +398,9 @@ void RadioMedium::resolve_receivers() {
       if (!decoded) continue;
       ++counters_.deliveries;
       if (energy_ != nullptr) energy_->record_rx(rx.id);
-      rx.on_receive(Reception{a.tx->sender, a.tx->preamble, a.tx->type, a.tx->payload,
-                              a.power, a.tx->slot_start});
+      rx_records_.push_back(RxRecord{a.tx->sender, static_cast<std::uint32_t>(rx_index),
+                                     a.tx->preamble, a.tx->type, a.tx->payload, a.power,
+                                     a.tx->slot_start});
     }
     audible.clear();
   }
@@ -434,10 +427,10 @@ void RadioMedium::flush_slot() {
   // requires every per-candidate gate to be statically off; any crashed
   // device, duty-cycle gate or fault hook falls back to the scalar sweep,
   // which evaluates the gates per candidate in the original order.
-  const bool batched = cache_valid_ && grid_delivery_ && uniform_skip_ &&
-                       !fault_ && !any_listening_ && down_count_ == 0;
-  if (batched) {
-    deliver_batched();
+  const bool fused = cache_valid_ && grid_delivery_ && uniform_skip_ &&
+                     !fault_ && !any_listening_ && down_count_ == 0;
+  if (fused) {
+    deliver_fused();
   } else if (cache_valid_ && grid_delivery_) {
     deliver_memoised_scalar();
   } else if (cache_valid_) {
@@ -456,6 +449,11 @@ void RadioMedium::flush_slot() {
   }
 
   resolve_receivers();
+  // Hand the slot's whole decoded batch to the owner in one call.  Protocol
+  // reactions run here, sequentially in record order; broadcasts they issue
+  // land in pending_ for the next slot, exactly as under per-pair dispatch
+  // (now() already sits at the flush boundary either way).
+  if (sink_ && !rx_records_.empty()) sink_(RxBatch{rx_records_.data(), rx_records_.size()});
 }
 
 void RadioMedium::reserve_delivery(std::size_t max_tx_per_slot) {
@@ -464,7 +462,10 @@ void RadioMedium::reserve_delivery(std::size_t max_tx_per_slot) {
   if (buckets_.size() < devices_.size()) buckets_.resize(devices_.size());
   touched_.reserve(devices_.size());
   for (std::vector<Audible>& bucket : buckets_) bucket.reserve(max_tx_per_slot);
-  prefetch_ids_.reserve(max_tx_per_slot);
+  // Worst case one decoded record per (transmission, receiver) pair; the
+  // soak heap gate needs this buffer to hit its lifetime-record size during
+  // warm-up, so reserve for the storm, not the steady state.
+  rx_records_.reserve(std::min<std::size_t>(max_tx_per_slot * devices_.size(), 1u << 20));
   res_key_.reserve(max_tx_per_slot);
   aud_mw_.reserve(max_tx_per_slot);
 }

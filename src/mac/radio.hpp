@@ -8,6 +8,14 @@
 // the capture margin).  The medium is also the *single meter* for Fig. 4:
 // every transmission is counted here by codec class, so FST and ST message
 // counts are measured identically.
+//
+// Delivery is batched: decoding appends one `RxRecord` per successful
+// reception to a flat per-slot buffer (in receiver-bucket order — the same
+// order the old per-pair callbacks fired in), and the slot's whole batch is
+// handed to the owner's delivery sink in one call.  Protocol reactions run
+// sequentially inside the sink in record order, so any state they mutate is
+// visible to later records of the same slot exactly as it was under
+// per-pair dispatch.
 #pragma once
 
 #include <cassert>
@@ -26,14 +34,27 @@
 
 namespace firefly::mac {
 
-/// A PS delivered to a receiver.
-struct Reception {
+/// One decoded PS, addressed by *receiver index* (the dense registration
+/// slot, equal to the device id for engine-registered populations) so batch
+/// consumers can index flat per-device arrays directly.
+struct RxRecord {
   std::uint32_t sender;
-  Preamble preamble;
+  std::uint32_t rx_index;  ///< receiver's dense device index
+  Preamble preamble;       ///< the RACH resource the PS occupied
   PsType type;
   std::uint64_t payload;   ///< protocol-defined (fragment id, phase, etc.)
   util::Dbm rx_power;
-  sim::SimTime slot_start; ///< slot in which the PS was transmitted
+  sim::SimTime slot_start; ///< slot in which the PS was transmitted (records
+                           ///< in one batch can differ: a broadcast executing
+                           ///< at the flush boundary joins the closing batch
+                           ///< with the next slot's stamp)
+};
+
+/// The contiguous span of every successful reception of one slot flush, in
+/// decode order (receiver-bucket order, in-bucket transmission order).
+struct RxBatch {
+  const RxRecord* records;
+  std::size_t count;
 };
 
 /// Per-codec transmission counters (the Fig. 4 meter).
@@ -49,7 +70,10 @@ struct TrafficCounters {
 
 class RadioMedium {
  public:
-  using ReceiveFn = std::function<void(const Reception&)>;
+  /// The per-slot delivery sink: called at most once per flush with the
+  /// slot's whole decoded batch.  There is one sink for the medium (not one
+  /// callback per device); receivers are identified by RxRecord::rx_index.
+  using DeliverFn = std::function<void(const RxBatch&)>;
   /// Receiver-side duty cycling: evaluated at delivery time; a device whose
   /// predicate returns false is asleep and decodes nothing that slot.
   using ListenFn = std::function<bool()>;
@@ -62,23 +86,16 @@ class RadioMedium {
   /// receivers normally.
   using FaultFn = std::function<std::optional<util::Dbm>(
       std::uint32_t sender, std::uint32_t receiver, PsType type, util::Dbm power)>;
-  /// Delivery prefetch hint: called once per receiver bucket, one bucket
-  /// *ahead* of its deliveries, with the sender ids about to be decoded.
-  /// The owner can warm whatever per-(rx, sender) state its receive
-  /// callback touches (the engine prefetches neighbour-table slots); the
-  /// hook must not mutate protocol state.
-  using PrefetchFn = std::function<void(std::uint32_t rx_id, const std::uint32_t* senders,
-                                        std::size_t count)>;
 
   /// `capture_margin_db`: a same-resource reception is decoded anyway when
   /// its power exceeds the *sum* of the interferers by this margin.
   RadioMedium(sim::Simulator* sim, phy::Channel* channel, double capture_margin_db = 6.0);
 
-  /// Register a device; returns its radio handle (== device id passed in).
-  /// Devices must be registered before the first slot boundary they use.
-  /// `listening` may be null (always awake).
-  void add_device(std::uint32_t id, geo::Vec2 position, ReceiveFn on_receive,
-                  ListenFn listening = nullptr);
+  /// Register a device.  Devices must be registered before the first slot
+  /// boundary they use, in the index order the owner's delivery sink
+  /// expects (RxRecord::rx_index is the registration slot).  `listening`
+  /// may be null (always awake).
+  void add_device(std::uint32_t id, geo::Vec2 position, ListenFn listening = nullptr);
   /// Update a device position (mobility support).
   void move_device(std::uint32_t id, geo::Vec2 position);
   [[nodiscard]] geo::Vec2 device_position(std::uint32_t id) const;
@@ -92,9 +109,9 @@ class RadioMedium {
   /// Install the channel-fault hook (null = fault-free delivery).
   void set_fault_hook(FaultFn fn) { fault_ = std::move(fn); }
 
-  /// Install the delivery prefetch hint (null = no hints).  Purely a cache
-  /// warmer: installing or removing it never changes delivery results.
-  void set_delivery_prefetch(PrefetchFn fn) { prefetch_ = std::move(fn); }
+  /// Install the per-slot delivery sink (null = decoded PSs are metered but
+  /// discarded, which is what the radio-only unit tests want).
+  void set_delivery_sink(DeliverFn fn) { sink_ = std::move(fn); }
 
   /// Queue a broadcast for the slot containing now(); it is delivered to
   /// every in-range receiver at the next slot boundary.
@@ -153,7 +170,6 @@ class RadioMedium {
   struct DeviceEntry {
     std::uint32_t id;
     geo::Vec2 position;
-    ReceiveFn on_receive;
     ListenFn listening;
   };
   struct PendingTx {
@@ -212,7 +228,7 @@ class RadioMedium {
   [[nodiscard]] std::size_t index_of(std::uint32_t id) const;
   void admit_candidate(std::size_t u, std::size_t v, util::Dbm mean, util::Dbm cutoff);
   void scatter_candidates();
-  void deliver_batched();
+  void deliver_fused();
   void deliver_memoised_scalar();
   void add_audible(std::size_t rx_index, const PendingTx& tx);
   void resolve_receivers();
@@ -248,8 +264,8 @@ class RadioMedium {
   std::vector<std::uint32_t> survivors_;    // per-flush skip-test survivors
   std::vector<std::vector<Audible>> buckets_;  // per-receiver audible sets
   std::vector<std::size_t> touched_;           // receivers with non-empty buckets
-  PrefetchFn prefetch_;                        // per-bucket cache-warming hint
-  std::vector<std::uint32_t> prefetch_ids_;    // sender ids handed to the hint
+  DeliverFn sink_;                             // per-slot batch consumer
+  std::vector<RxRecord> rx_records_;           // this slot's decoded batch
   std::vector<std::uint64_t> res_key_;         // per-bucket packed resource keys
   std::vector<double> aud_mw_;                 // per-bucket memoised milliwatts
   // Epoch-marked per-resource chains for the collision prepass: one slot per

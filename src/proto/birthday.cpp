@@ -15,12 +15,13 @@ void BirthdayEngine::on_start() {
 void BirthdayEngine::emit_fire_broadcast(Device& device) {
   radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach1),
                    mac::PsType::kDiscovery,
-                   pack(Fields{device.fragment, device.service, 0, 0}));
+                   pack(Fields{fragment(device.id), device.service, 0, 0}));
 }
 
-void BirthdayEngine::on_reception(Device& /*device*/, const mac::Reception& /*reception*/) {
-  // Pure birthday protocol: receive, record (the base already updated the
+void BirthdayEngine::deliver_batched(const mac::RxBatch& batch) {
+  // Pure birthday protocol: receive, record (the sweep updates the
   // neighbour table), never react.
+  sweep_batch(batch, [](const mac::RxRecord& /*record*/) {});
 }
 
 }  // namespace firefly::proto

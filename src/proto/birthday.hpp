@@ -26,7 +26,7 @@ class BirthdayEngine : public EngineBase {
 
  protected:
   void on_start() override;
-  void on_reception(Device& device, const mac::Reception& reception) override;
+  void deliver_batched(const mac::RxBatch& batch) override;
   void emit_fire_broadcast(Device& device) override;
   /// Discovery-only protocol: no synchronisation goal by design.
   [[nodiscard]] bool requires_sync() const override { return false; }

@@ -21,33 +21,37 @@ void DesyncEngine::emit_fire_broadcast(Device& device) {
   // A new firing opens a new measurement cycle: the latest pulse heard
   // before this instant becomes the "previous" phase neighbour, and the
   // first pulse heard from now on will be the "next" one.
-  device.desync_prev_slot = device.desync_last_heard_slot;
-  device.desync_adjusted = false;
+  const std::uint32_t i = device.id;
+  desync_prev_slot(i) = desync_last_heard_slot(i);
+  desync_adjusted(i) = false;
   radio_.broadcast(device.id,
                    random_preamble(mac::RachCodec::kRach1),
                    mac::PsType::kSyncPulse,
-                   pack(Fields{device.fragment, device.service, counter_field(device), 0}));
+                   pack(Fields{fragment(i), device.service, counter_field(i), 0}));
 }
 
-void DesyncEngine::on_reception(Device& device, const mac::Reception& reception) {
-  if (reception.type != mac::PsType::kSyncPulse) return;
-  const std::int64_t sent =
-      current_slot() - static_cast<std::int64_t>(elapsed_slots(reception));
-  device.desync_last_heard_slot = sent;
-  if (device.last_fire_slot < 0) return;             // not fired yet: no cycle open
-  if (sent <= device.last_fire_slot) return;         // pre-fire pulse: "previous" side
-  if (!device.desync_adjusted) midpoint_jump(device, sent);
+void DesyncEngine::deliver_batched(const mac::RxBatch& batch) {
+  sweep_batch(batch, [this](const mac::RxRecord& r) {
+    if (r.type != mac::PsType::kSyncPulse) return;
+    const std::uint32_t i = r.rx_index;
+    const std::int64_t sent =
+        current_slot() - static_cast<std::int64_t>(elapsed_slots(r));
+    desync_last_heard_slot(i) = sent;
+    if (last_fire_slot(i) < 0) return;             // not fired yet: no cycle open
+    if (sent <= last_fire_slot(i)) return;         // pre-fire pulse: "previous" side
+    if (!desync_adjusted(i)) midpoint_jump(i, sent);
+  });
 }
 
-void DesyncEngine::midpoint_jump(Device& device, std::int64_t next_pulse_slot) {
+void DesyncEngine::midpoint_jump(std::uint32_t i, std::int64_t next_pulse_slot) {
   // One jump per own firing, triggered by the first post-fire pulse — the
   // discrete DESYNC step.  Mark the cycle spent even when the measurement
   // is unusable, so a stale late pulse cannot trigger it instead.
-  device.desync_adjusted = true;
+  desync_adjusted(i) = true;
   const auto period = static_cast<std::int64_t>(params_.period_slots);
-  if (device.desync_prev_slot < 0) return;  // no "previous" neighbour yet
-  const std::int64_t prev_gap = device.last_fire_slot - device.desync_prev_slot;
-  const std::int64_t next_gap = next_pulse_slot - device.last_fire_slot;
+  if (desync_prev_slot(i) < 0) return;  // no "previous" neighbour yet
+  const std::int64_t prev_gap = last_fire_slot(i) - desync_prev_slot(i);
+  const std::int64_t next_gap = next_pulse_slot - last_fire_slot(i);
   // Gaps outside (0, T) mean the memory is stale (silence for over a
   // period: crashed neighbours, deep fades) — skip, keep the cycle open
   // for fresh measurements next firing.
@@ -64,20 +68,20 @@ void DesyncEngine::midpoint_jump(Device& device, std::int64_t next_pulse_slot) {
                             (control_rng_.bernoulli(target - whole) ? 1 : 0);
   if (jump != 0) {
     const std::int64_t slot = current_slot();
-    device.next_fire_slot = std::max(slot + 1, device.next_fire_slot + jump);
-    schedule_fire(device);
+    next_fire_slot(i) = std::max(slot + 1, next_fire_slot(i) + jump);
+    schedule_fire(i);
   }
   // Residual imbalance after the jump: moving the firing by `jump` shrinks
   // next_gap and grows prev_gap by the same amount next cycle.
-  device.desync_residual = static_cast<std::int32_t>(std::llabs(raw - 2 * jump));
+  desync_residual(i) = static_cast<std::int32_t>(std::llabs(raw - 2 * jump));
 }
 
 double DesyncEngine::mean_error_slots() const {
   double sum = 0.0;
   std::uint32_t measured = 0;
-  for (const Device& d : devices_) {
-    if (d.down || d.desync_residual < 0) continue;
-    sum += static_cast<double>(d.desync_residual);
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    if (down(i) || desync_residual(i) < 0) continue;
+    sum += static_cast<double>(desync_residual(i));
     ++measured;
   }
   return measured > 0 ? sum / static_cast<double>(measured) : 0.0;
@@ -87,8 +91,8 @@ double DesyncEngine::spread_slots() const {
   const auto period = static_cast<std::int64_t>(params_.period_slots);
   std::vector<std::int64_t> phases;
   phases.reserve(devices_.size());
-  for (const Device& d : devices_) {
-    if (!d.down) phases.push_back(((d.next_fire_slot % period) + period) % period);
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    if (!down(i)) phases.push_back(((next_fire_slot(i) % period) + period) % period);
   }
   if (phases.size() < 2) return 0.0;
   std::sort(phases.begin(), phases.end());
@@ -113,10 +117,10 @@ bool DesyncEngine::protocol_complete() const {
   }
   const auto tolerance = static_cast<std::int32_t>(params_.desync_tolerance_slots);
   std::uint32_t measured = 0;
-  for (const Device& d : devices_) {
-    if (d.down) continue;
-    if (d.desync_last_heard_slot < 0) continue;  // hears nobody: nothing to balance
-    if (d.desync_residual < 0 || d.desync_residual > tolerance) {
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    if (down(i)) continue;
+    if (desync_last_heard_slot(i) < 0) continue;  // hears nobody: nothing to balance
+    if (desync_residual(i) < 0 || desync_residual(i) > tolerance) {
       stable_checks_ = 0;
       return false;
     }
@@ -144,10 +148,11 @@ void DesyncEngine::fill_soak_window(sim::SoakWindow& window) const {
 void DesyncEngine::on_recover(Device& device) {
   // Cold boot: whatever the radio had learned about its phase neighbours
   // died with it.
-  device.desync_last_heard_slot = -1;
-  device.desync_prev_slot = -1;
-  device.desync_residual = -1;
-  device.desync_adjusted = false;
+  const std::uint32_t i = device.id;
+  desync_last_heard_slot(i) = -1;
+  desync_prev_slot(i) = -1;
+  desync_residual(i) = -1;
+  desync_adjusted(i) = false;
 }
 
 }  // namespace firefly::proto

@@ -48,7 +48,7 @@ class DesyncEngine : public EngineBase {
 
  protected:
   void on_start() override;
-  void on_reception(Device& device, const mac::Reception& reception) override;
+  void deliver_batched(const mac::RxBatch& batch) override;
   void emit_fire_broadcast(Device& device) override;
   void fill_protocol_metrics(RunMetrics& metrics) const override;
   void fill_soak_window(sim::SoakWindow& window) const override;
@@ -69,8 +69,8 @@ class DesyncEngine : public EngineBase {
 
  private:
   /// The once-per-cycle midpoint jump, triggered by the first pulse heard
-  /// after the device's own firing.
-  void midpoint_jump(Device& device, std::int64_t next_pulse_slot);
+  /// after device i's own firing.
+  void midpoint_jump(std::uint32_t i, std::int64_t next_pulse_slot);
   /// Mean |midpoint residual| over live measured devices, in slots.
   [[nodiscard]] double mean_error_slots() const;
   /// Max−min cyclic gap of the live population's firing phases, in slots.

@@ -14,13 +14,17 @@ void FstEngine::emit_fire_broadcast(Device& device) {
   radio_.broadcast(device.id,
                    random_preamble(mac::RachCodec::kRach1),
                    mac::PsType::kSyncPulse,
-                   pack(Fields{device.fragment, device.service, counter_field(device), 0}));
+                   pack(Fields{fragment(device.id), device.service,
+                               counter_field(device.id), 0}));
 }
 
-void FstEngine::on_reception(Device& device, const mac::Reception& reception) {
-  if (reception.type != mac::PsType::kSyncPulse) return;
-  // Full-mesh coupling: any audible pulse adjusts the phase.
-  apply_pulse_coupling(device, reception);
+void FstEngine::deliver_batched(const mac::RxBatch& batch) {
+  // Full-mesh coupling fused into the receiver sweep: any audible pulse
+  // adjusts the receiver's phase.
+  sweep_batch(batch, [this](const mac::RxRecord& r) {
+    if (r.type != mac::PsType::kSyncPulse) return;
+    apply_pulse_coupling(r);
+  });
 }
 
 }  // namespace firefly::proto

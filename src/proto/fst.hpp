@@ -24,7 +24,7 @@ class FstEngine : public EngineBase {
 
  protected:
   void on_start() override;
-  void on_reception(Device& device, const mac::Reception& reception) override;
+  void deliver_batched(const mac::RxBatch& batch) override;
   void emit_fire_broadcast(Device& device) override;
 };
 

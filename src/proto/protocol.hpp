@@ -6,9 +6,12 @@
 // snapshot/restore — and derives from this interface; a protocol backend is
 // the strategy layered on top.  The hook set covers the full lifecycle:
 //
-//   * on_start / on_reception / emit_fire_broadcast — what runs at t = 0,
-//     the reaction to a decoded PS, and the payload a firing broadcasts
-//     (the protocol state machine proper);
+//   * on_start / deliver_batched / emit_fire_broadcast — what runs at t = 0,
+//     the reaction to one slot's decoded receptions (delivered as a single
+//     contiguous batch — see mac::RxBatch — so the engine sweeps receivers
+//     through the SoA hot arrays instead of taking one virtual call per
+//     pair), and the payload a firing broadcasts (the protocol state
+//     machine proper);
 //   * protocol_complete / requires_sync — how the protocol's own goal folds
 //     into the convergence criterion;
 //   * fill_protocol_metrics / fill_soak_window — the numbers the protocol
@@ -26,7 +29,7 @@
 #include <cstdint>
 
 namespace firefly::mac {
-struct Reception;
+struct RxBatch;
 }  // namespace firefly::mac
 
 namespace firefly::sim {
@@ -47,8 +50,11 @@ class DiscoveryProtocol {
  protected:
   /// Called once before the event loop starts.
   virtual void on_start() = 0;
-  /// Protocol reaction to a decoded PS.
-  virtual void on_reception(core::Device& device, const mac::Reception& reception) = 0;
+  /// Protocol reaction to one slot's decoded PSs.  The batch holds every
+  /// reception the radio resolved this slot, in the deterministic receiver
+  /// order the per-pair API used to dispatch in; engines sweep it once,
+  /// fusing their PCO phase update into the same pass.
+  virtual void deliver_batched(const mac::RxBatch& batch) = 0;
   /// Broadcast emitted when `device` fires (protocols differ in payload).
   virtual void emit_fire_broadcast(core::Device& device) = 0;
   /// Hook for metrics specific to a protocol (tree stats, desync error…).

@@ -18,18 +18,19 @@ using core::unpack;
 void StEngine::on_start() {
   const std::int64_t base = 1;
   for (Device& d : devices_) {
-    d.is_head = true;  // every device heads its own singleton fragment
-    d.fragment = static_cast<std::uint16_t>(d.id);
-    d.fragment_size = 1;
+    const std::uint32_t i = d.id;
+    is_head(i) = true;  // every device heads its own singleton fragment
+    fragment(i) = static_cast<std::uint16_t>(i);
+    fragment_size(i) = 1;
     // Discovery beacons at random slots inside the window.
     for (std::uint32_t b = 0; b < params_.discovery_beacons; ++b) {
       const std::int64_t slot =
           base + static_cast<std::int64_t>(control_rng_.uniform_index(params_.discovery_slots));
-      sim_.schedule_at(sim::SimTime::milliseconds(slot), [this, &d] {
-        if (d.down) return;
+      sim_.schedule_at(sim::SimTime::milliseconds(slot), [this, &d, i] {
+        if (down(i)) return;
         radio_.broadcast(d.id, random_preamble(mac::RachCodec::kRach1),
                          mac::PsType::kDiscovery,
-                         pack(Fields{d.fragment, d.service, 0, 0}));
+                         pack(Fields{fragment(i), d.service, 0, 0}));
       });
     }
     // Head round timer, staggered by id so RACH2 attempts de-collide.
@@ -44,8 +45,8 @@ void StEngine::on_start() {
     const std::int64_t first_flood = base + params_.discovery_slots +
                                      static_cast<std::int64_t>(d.id % params_.period_slots);
     sim_.schedule_periodic(sim::SimTime::milliseconds(first_flood),
-                           sim::SimTime::milliseconds(params_.period_slots), [this, &d] {
-                             if (!d.down && d.is_head) emit_sync_flood(d);
+                           sim::SimTime::milliseconds(params_.period_slots), [this, &d, i] {
+                             if (!down(i) && is_head(i)) emit_sync_flood(d);
                            });
     // Keep-alive discovery: one beacon per period at a *random* slot.  This
     // is ST's structural answer to the baseline's pathology — FST beacons
@@ -53,15 +54,15 @@ void StEngine::on_start() {
     // same slot and collides; ST keeps discovery traffic spread out.
     sim_.schedule_periodic(
         sim::SimTime::milliseconds(base + static_cast<std::int64_t>(d.id % params_.period_slots)),
-        sim::SimTime::milliseconds(params_.period_slots), [this, &d] {
-          if (d.down) return;
+        sim::SimTime::milliseconds(params_.period_slots), [this, &d, i] {
+          if (down(i)) return;
           const auto offset = static_cast<std::int64_t>(
               control_rng_.uniform_index(params_.period_slots - 1));
-          sim_.schedule_in(sim::SimTime::milliseconds(offset), [this, &d] {
-            if (d.down) return;
+          sim_.schedule_in(sim::SimTime::milliseconds(offset), [this, &d, i] {
+            if (down(i)) return;
             radio_.broadcast(d.id, random_preamble(mac::RachCodec::kRach1),
                              mac::PsType::kDiscovery,
-                             pack(Fields{d.fragment, d.service, 0, 0}));
+                             pack(Fields{fragment(i), d.service, 0, 0}));
           });
         });
   }
@@ -69,19 +70,21 @@ void StEngine::on_start() {
 }
 
 void StEngine::emit_sync_flood(Device& device) {
+  const std::uint32_t i = device.id;
   const auto cycle = static_cast<std::uint16_t>(
       (current_slot() / params_.period_slots) & 0xFFFF);
-  device.sync_floods_seen.insert(merge_key(device.fragment, cycle));
+  device.sync_floods_seen.insert(merge_key(fragment(i), cycle));
   radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach2),
                    mac::PsType::kSyncFlood,
-                   pack(Fields{device.fragment, cycle, counter_field(device), 0}));
+                   pack(Fields{fragment(i), cycle, counter_field(i), 0}));
 }
 
 void StEngine::emit_fire_broadcast(Device& device) {
+  const std::uint32_t i = device.id;
   radio_.broadcast(device.id,
                    random_preamble(mac::RachCodec::kRach1),
                    mac::PsType::kSyncPulse,
-                   pack(Fields{device.fragment, device.service, counter_field(device), 0}));
+                   pack(Fields{fragment(i), device.service, counter_field(i), 0}));
 }
 
 bool StEngine::left_wins(std::uint16_t left_frag, std::uint16_t left_size,
@@ -97,18 +100,20 @@ void StEngine::prune_stale_tree_edges(Device& device) {
   // moved out of range — drop the coupling edge.  A device whose whole
   // tree neighbourhood vanished restarts as its own singleton fragment and
   // rejoins through the normal H_Connect machinery.
+  const std::uint32_t i = device.id;
   const std::int64_t slot = current_slot();
   const std::int64_t stale =
       static_cast<std::int64_t>(params_.tree_stale_periods) * params_.period_slots;
+  const auto& table = neighbors(i);
   std::erase_if(device.tree_neighbors, [&](std::uint32_t other) {
-    const auto it = device.neighbors.find(other);
-    return it == device.neighbors.end() || slot - it->second.last_heard_slot > stale;
+    const auto it = table.find(other);
+    return it == table.end() || slot - it->second.last_heard_slot > stale;
   });
   if (device.tree_neighbors.empty() &&
-      device.fragment != static_cast<std::uint16_t>(device.id)) {
-    device.fragment = static_cast<std::uint16_t>(device.id);
-    device.fragment_size = 1;
-    device.is_head = true;
+      fragment(i) != static_cast<std::uint16_t>(device.id)) {
+    fragment(i) = static_cast<std::uint16_t>(device.id);
+    fragment_size(i) = 1;
+    is_head(i) = true;
     device.pending_target = kInvalidId;
     device.connect_attempts = 0;
     device.last_fragment_activity_slot = slot;
@@ -132,6 +137,7 @@ void StEngine::maybe_reclaim_headless_fragment(Device& device) {
       static_cast<double>(params_.head_lease_periods) * params_.period_slots /
       params_.awake_fraction());
   if (slot - device.head_heard_slot <= lease) return;
+  const std::uint32_t i = device.id;
   // Every orphaned member's lease expires around the same time (they all
   // refreshed at the head's last flood), so a deterministic claim would
   // shatter the remnant into singletons.  A Bernoulli draw per round lets
@@ -141,28 +147,29 @@ void StEngine::maybe_reclaim_headless_fragment(Device& device) {
   // the same period; the cap spreads their announce floods over several
   // periods.  Suppressed claimants simply retry next round.
   if (!relabel_permitted()) return;
-  const std::uint16_t old_label = device.fragment;
-  device.is_head = true;
-  device.fragment = fresh_label();
-  device.fragment_size = 1;
+  const std::uint16_t old_label = fragment(i);
+  is_head(i) = true;
+  fragment(i) = fresh_label();
+  fragment_size(i) = 1;
   device.pending_target = kInvalidId;
   device.connect_attempts = 0;
   device.head_heard_slot = slot;
   device.last_fragment_activity_slot = slot;
-  trace(TraceKind::kRelabel, device.id, device.fragment, old_label);
+  trace(TraceKind::kRelabel, device.id, fragment(i), old_label);
   // Flood the re-label through the remnant: members still carrying the old
   // label adopt the fresh one (and this device's phase) via the normal
   // merge-announce relay, then the renamed fragment re-joins through
   // H_Connect.
-  device.announces_seen.insert(merge_key(device.fragment, old_label));
-  emit_announce(device, device.fragment, old_label, 1);
+  device.announces_seen.insert(merge_key(fragment(i), old_label));
+  emit_announce(device, fragment(i), old_label, 1);
 }
 
 void StEngine::round_action(Device& device) {
-  if (device.down) return;
+  const std::uint32_t i = device.id;
+  if (down(i)) return;
   const std::int64_t slot = current_slot();
   prune_stale_tree_edges(device);
-  if (!device.is_head) {
+  if (!is_head(i)) {
     // Stall rule: a fragment whose head token was lost mid-merge would
     // otherwise freeze.  After long RACH2 silence, a member that can still
     // see an outgoing edge self-promotes with low probability, keeping the
@@ -171,7 +178,7 @@ void StEngine::round_action(Device& device) {
     const std::int64_t stall = 6 * static_cast<std::int64_t>(params_.round_slots);
     if (slot - device.last_fragment_activity_slot > stall && has_outgoing(device) &&
         control_rng_.bernoulli(0.25)) {
-      device.is_head = true;
+      is_head(i) = true;
     } else {
       // Lease check: the stall rule cannot cover a fragment with no
       // outgoing edge (a spanning fragment whose head crashed, or a
@@ -211,12 +218,13 @@ const std::uint32_t* StEngine::best_outgoing(const Device& device) const {
   // Heaviest outgoing edge: strongest fresh neighbour in another fragment.
   // Entries not refreshed for three firing periods carry stale fragment
   // labels and are skipped.
+  const std::uint32_t i = device.id;
   const std::int64_t slot = current_slot();
   const std::int64_t freshness = 3 * static_cast<std::int64_t>(params_.period_slots);
   const std::uint32_t* best = nullptr;
   double best_weight = -1e300;
-  for (const auto& [other_id, info] : device.neighbors) {
-    if (info.fragment == device.fragment) continue;
+  for (const auto& [other_id, info] : neighbors(i)) {
+    if (info.fragment == fragment(i)) continue;
     if (info.last_heard_slot >= 0 && slot - info.last_heard_slot > freshness) continue;
     double weight = info.weight_dbm;
     if (info.service == device.service) weight += params_.service_bias_db;
@@ -244,12 +252,12 @@ void StEngine::attempt_connect(Device& device) {
   device.pending_target = *best;
   device.connect_sent_slot = slot;
   device.last_fragment_activity_slot = slot;
-  const auto counter = static_cast<std::uint16_t>(
-      device.counter_at(slot, params_.period_slots));
+  const std::uint32_t i = device.id;
+  const auto counter = static_cast<std::uint16_t>(counter_at(i, slot));
   radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach2),
                    mac::PsType::kConnectRequest,
-                   pack(Fields{static_cast<std::uint16_t>(*best), device.fragment,
-                               device.fragment_size, counter}));
+                   pack(Fields{static_cast<std::uint16_t>(*best), fragment(i),
+                               fragment_size(i), counter}));
 }
 
 bool StEngine::change_head(Device& device) {
@@ -265,12 +273,12 @@ bool StEngine::change_head(Device& device) {
   const std::uint32_t target =
       device.tree_neighbors[device.head_rotation % device.tree_neighbors.size()];
   ++device.head_rotation;
-  device.is_head = false;
+  is_head(device.id) = false;
   device.last_fragment_activity_slot = current_slot();
   device.head_heard_slot = current_slot();  // start the lease on the successor
   radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach2),
                    mac::PsType::kHeadToken,
-                   pack(Fields{static_cast<std::uint16_t>(target), device.fragment, 0, 0}));
+                   pack(Fields{static_cast<std::uint16_t>(target), fragment(device.id), 0, 0}));
   return true;
 }
 
@@ -279,11 +287,12 @@ void StEngine::local_merge(Device& device, std::uint16_t peer_frag, std::uint16_
   const obs::ScopedTimer span(telemetry_, obs::SpanId::kMerge,
                               telemetry_ != nullptr ? sim_.now().as_milliseconds() : -1.0);
   if (telemetry_ != nullptr) telemetry_->count("st.merges");
+  const std::uint32_t i = device.id;
   const auto new_size = static_cast<std::uint16_t>(
-      std::min<std::uint32_t>(0xFFFF, device.fragment_size + peer_size));
-  const bool we_win = left_wins(device.fragment, device.fragment_size, peer_frag, peer_size);
-  const std::uint16_t winner = we_win ? device.fragment : peer_frag;
-  const std::uint16_t loser = we_win ? peer_frag : device.fragment;
+      std::min<std::uint32_t>(0xFFFF, fragment_size(i) + peer_size));
+  const bool we_win = left_wins(fragment(i), fragment_size(i), peer_frag, peer_size);
+  const std::uint16_t winner = we_win ? fragment(i) : peer_frag;
+  const std::uint16_t loser = we_win ? peer_frag : fragment(i);
 
   device.add_tree_neighbor(peer_device);
   device.last_fragment_activity_slot = current_slot();
@@ -295,120 +304,127 @@ void StEngine::local_merge(Device& device, std::uint16_t peer_frag, std::uint16_
   if (!we_win) {
     // Losing side: adopt the winner's label and phase (Algorithm 1's
     // inter-subtree synchronisation over RACH2).
-    device.fragment = winner;
-    device.is_head = false;
+    fragment(i) = winner;
+    is_head(i) = false;
     device.pending_target = kInvalidId;
-    adopt_counter(device, adopted_counter % params_.period_slots);
+    adopt_counter(i, adopted_counter % params_.period_slots);
   }
-  device.fragment_size = new_size;
+  fragment_size(i) = new_size;
   emit_announce(device, winner, loser, new_size);
 }
 
 void StEngine::emit_announce(Device& device, std::uint16_t winner, std::uint16_t loser,
                              std::uint16_t new_size) {
   const auto counter = static_cast<std::uint16_t>(
-      device.counter_at(current_slot(), params_.period_slots));
+      counter_at(device.id, current_slot()));
   radio_.broadcast(device.id, random_preamble(mac::RachCodec::kRach2),
                    mac::PsType::kMergeAnnounce,
                    pack(Fields{winner, loser, counter, new_size}));
 }
 
-void StEngine::handle_announce(Device& device, const mac::Reception& reception) {
-  const Fields f = unpack(reception.payload);
+void StEngine::handle_announce(Device& device, const mac::RxRecord& record) {
+  const Fields f = unpack(record.payload);
   const std::uint32_t key = merge_key(f.a, f.b);
   if (device.announces_seen.contains(key)) return;
   device.announces_seen.insert(key);
 
-  if (device.fragment == f.b) {
+  const std::uint32_t i = device.id;
+  if (fragment(i) == f.b) {
     // My fragment lost this merge: adopt label, size and phase, and relay
     // once so the flood crosses the whole (former) fragment.
-    device.fragment = f.a;
-    device.fragment_size = f.d;
-    device.is_head = false;
+    fragment(i) = f.a;
+    fragment_size(i) = f.d;
+    is_head(i) = false;
     device.pending_target = kInvalidId;
     device.connect_attempts = 0;
     device.last_fragment_activity_slot = current_slot();
     device.head_heard_slot = current_slot();
-    adopt_counter(device, (f.c + elapsed_slots(reception)) % params_.period_slots);
+    adopt_counter(i, (f.c + elapsed_slots(record)) % params_.period_slots);
     emit_announce(device, f.a, f.b, f.d);
-  } else if (device.fragment == f.a) {
+  } else if (fragment(i) == f.a) {
     // My fragment won: refresh the size estimate.
-    device.fragment_size = std::max(device.fragment_size, f.d);
+    fragment_size(i) = std::max(fragment_size(i), f.d);
     device.last_fragment_activity_slot = current_slot();
   }
 }
 
-void StEngine::on_reception(Device& device, const mac::Reception& reception) {
-  const Fields f = unpack(reception.payload);
-  switch (reception.type) {
+void StEngine::deliver_batched(const mac::RxBatch& batch) {
+  sweep_batch(batch, [this](const mac::RxRecord& r) { on_record(r); });
+}
+
+void StEngine::on_record(const mac::RxRecord& record) {
+  const std::uint32_t i = record.rx_index;
+  Device& device = devices_[i];
+  const Fields f = unpack(record.payload);
+  switch (record.type) {
     case mac::PsType::kDiscovery:
-      break;  // neighbour table already updated by the base
+      break;  // neighbour table already updated by the sweep
 
     case mac::PsType::kSyncPulse:
       // Tree-restricted coupling: only pulses from tree neighbours adjust
       // the oscillator (the whole point of the spanning-tree topology).
-      if (device.has_tree_neighbor(reception.sender)) {
-        apply_pulse_coupling(device, reception);
+      if (device.has_tree_neighbor(record.sender)) {
+        apply_pulse_coupling(record);
       }
       break;
 
     case mac::PsType::kConnectRequest: {
       if (f.a != device.id) break;          // addressed to someone else
-      if (f.b == device.fragment) break;    // stale: already same fragment
+      if (f.b == fragment(i)) break;        // stale: already same fragment
       device.last_fragment_activity_slot = current_slot();
       // Algorithm 2: answer over RACH2, then both endpoints merge.
       const auto my_counter = static_cast<std::uint16_t>(
-          device.counter_at(current_slot(), params_.period_slots));
+          counter_at(i, current_slot()));
       radio_.broadcast(device.id,
                        random_preamble(mac::RachCodec::kRach2),
                        mac::PsType::kConnectAccept,
-                       pack(Fields{static_cast<std::uint16_t>(reception.sender),
-                                   device.fragment, device.fragment_size, my_counter}));
-      const std::uint32_t adopted = (f.d + elapsed_slots(reception)) % params_.period_slots;
-      local_merge(device, f.b, f.c, reception.sender, adopted);
+                       pack(Fields{static_cast<std::uint16_t>(record.sender),
+                                   fragment(i), fragment_size(i), my_counter}));
+      const std::uint32_t adopted = (f.d + elapsed_slots(record)) % params_.period_slots;
+      local_merge(device, f.b, f.c, record.sender, adopted);
       break;
     }
 
     case mac::PsType::kConnectAccept: {
       if (f.a != device.id) break;
-      if (f.b == device.fragment) break;  // duplicate / already merged
+      if (f.b == fragment(i)) break;  // duplicate / already merged
       device.pending_target = kInvalidId;
       device.connect_attempts = 0;
       device.last_fragment_activity_slot = current_slot();
-      const std::uint32_t adopted = (f.d + elapsed_slots(reception)) % params_.period_slots;
-      local_merge(device, f.b, f.c, reception.sender, adopted);
+      const std::uint32_t adopted = (f.d + elapsed_slots(record)) % params_.period_slots;
+      local_merge(device, f.b, f.c, record.sender, adopted);
       break;
     }
 
     case mac::PsType::kMergeAnnounce:
-      handle_announce(device, reception);
+      handle_announce(device, record);
       break;
 
     case mac::PsType::kHeadToken:
       // Any member overhearing a token for its fragment learns a live head
       // existed a moment ago — that renews the lease.
-      if (f.b == device.fragment) device.head_heard_slot = current_slot();
-      if (f.a == device.id && f.b == device.fragment) {
-        device.is_head = true;
+      if (f.b == fragment(i)) device.head_heard_slot = current_slot();
+      if (f.a == device.id && f.b == fragment(i)) {
+        is_head(i) = true;
         device.connect_attempts = 0;
         device.last_fragment_activity_slot = current_slot();
-        trace(TraceKind::kHeadChange, device.id, device.fragment);
+        trace(TraceKind::kHeadChange, device.id, fragment(i));
       }
       break;
 
     case mac::PsType::kSyncFlood: {
-      if (f.a != device.fragment) break;  // another fragment's keep-alive
+      if (f.a != fragment(i)) break;  // another fragment's keep-alive
       device.head_heard_slot = current_slot();  // lease renewed (even if duplicate)
       const std::uint32_t key = merge_key(f.a, f.b);
       if (device.sync_floods_seen.contains(key)) break;
       device.sync_floods_seen.insert(key);
       // Adopt the head's phase exactly (delay-compensated) and relay once
       // with a re-stamped counter so the flood covers the whole tree.
-      adopt_counter(device, (f.c + elapsed_slots(reception)) % params_.period_slots);
+      adopt_counter(i, (f.c + elapsed_slots(record)) % params_.period_slots);
       radio_.broadcast(device.id,
                        random_preamble(mac::RachCodec::kRach2),
                        mac::PsType::kSyncFlood,
-                       pack(Fields{f.a, f.b, counter_field(device), 0}));
+                       pack(Fields{f.a, f.b, counter_field(i), 0}));
       break;
     }
   }
@@ -420,9 +436,9 @@ void StEngine::on_recover(Device& device) {
   // live fragment spanning its neighbours, and reusing it would make the
   // rejoin edge invisible to best_outgoing (same label = no outgoing edge).
   const std::int64_t slot = current_slot();
-  device.fragment = fresh_label();
-  device.fragment_size = 1;
-  device.is_head = true;
+  fragment(device.id) = fresh_label();
+  fragment_size(device.id) = 1;
+  is_head(device.id) = true;
   device.tree_neighbors.clear();
   device.announces_seen.clear();
   device.sync_floods_seen.clear();
@@ -439,12 +455,12 @@ bool StEngine::protocol_complete() const {
   // of the network the algorithm can span.
   std::uint16_t label = 0;
   bool found = false;
-  for (const Device& d : devices_) {
-    if (d.down) continue;
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    if (down(i)) continue;
     if (!found) {
-      label = d.fragment;
+      label = fragment(i);
       found = true;
-    } else if (d.fragment != label) {
+    } else if (fragment(i) != label) {
       return false;
     }
   }
@@ -455,8 +471,8 @@ void StEngine::fill_protocol_metrics(RunMetrics& metrics) const {
   // Distinct fragment labels remaining.
   std::vector<std::uint16_t> labels;
   labels.reserve(devices_.size());
-  for (const Device& d : devices_) {
-    if (!d.down) labels.push_back(d.fragment);
+  for (std::uint32_t i = 0; i < devices_.size(); ++i) {
+    if (!down(i)) labels.push_back(fragment(i));
   }
   std::sort(labels.begin(), labels.end());
   labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
@@ -468,18 +484,19 @@ void StEngine::fill_protocol_metrics(RunMetrics& metrics) const {
   std::uint32_t same_service_edges = 0;
   double weight_sum = 0.0;
   for (const Device& d : devices_) {
-    if (d.down) continue;
+    if (down(d.id)) continue;
     for (const std::uint32_t other : d.tree_neighbors) {
-      if (devices_[other].down) continue;  // edge to a crashed radio is gone
+      if (down(other)) continue;  // edge to a crashed radio is gone
       if (other < d.id && devices_[other].has_tree_neighbor(d.id)) continue;  // counted once
       ++edges;
       if (devices_[other].service == d.service) ++same_service_edges;
       double w = -200.0;
-      const auto it = d.neighbors.find(other);
-      if (it != d.neighbors.end()) w = it->second.weight_dbm;
-      const auto& other_dev = devices_[other];
-      const auto it2 = other_dev.neighbors.find(d.id);
-      if (it2 != other_dev.neighbors.end()) w = std::max(w, it2->second.weight_dbm);
+      const auto& table = neighbors(d.id);
+      const auto it = table.find(other);
+      if (it != table.end()) w = it->second.weight_dbm;
+      const auto& other_table = neighbors(other);
+      const auto it2 = other_table.find(d.id);
+      if (it2 != other_table.end()) w = std::max(w, it2->second.weight_dbm);
       weight_sum += w;
     }
   }

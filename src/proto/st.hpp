@@ -51,7 +51,7 @@ class StEngine : public EngineBase {
 
  protected:
   void on_start() override;
-  void on_reception(Device& device, const mac::Reception& reception) override;
+  void deliver_batched(const mac::RxBatch& batch) override;
   void emit_fire_broadcast(Device& device) override;
   void fill_protocol_metrics(RunMetrics& metrics) const override;
   /// Algorithm 1 terminates when one fragment spans the (live) network.
@@ -68,6 +68,8 @@ class StEngine : public EngineBase {
   }
 
  private:
+  /// One decoded PS (the per-record body of deliver_batched's sweep).
+  void on_record(const mac::RxRecord& record);
   void round_action(Device& device);
   /// Strongest fresh neighbour outside the device's fragment, or nullptr.
   [[nodiscard]] const std::uint32_t* best_outgoing(const Device& device) const;
@@ -90,7 +92,7 @@ class StEngine : public EngineBase {
                    std::uint32_t peer_device, std::uint32_t adopted_counter);
   void emit_announce(Device& device, std::uint16_t winner, std::uint16_t loser,
                      std::uint16_t new_size);
-  void handle_announce(Device& device, const mac::Reception& reception);
+  void handle_announce(Device& device, const mac::RxRecord& record);
   /// Keep-alive phase flood from a head (once per firing period).
   void emit_sync_flood(Device& device);
   /// Mobility repair: drop silent tree edges; restart orphaned devices as

@@ -1,20 +1,70 @@
-// arena.hpp — chunked slab allocator with a freelist.
+// arena.hpp — trial-scoped allocators.
 //
-// Fixed-layout records (the slot calendar's event records) live in chunks of
-// 256 so addresses are stable, indices are dense 32-bit handles, and a
-// release/allocate cycle never touches the system heap after the first use
-// of a slot.  The arena does not run destructors on clear(); element types
-// must be reusable by assignment (the calendar re-initialises every field on
-// allocate).
+// Two shapes live here:
+//   * `SlabArena<T>` — chunked slab with a freelist.  Fixed-layout records
+//     (the slot calendar's event records) live in chunks of 256 so addresses
+//     are stable, indices are dense 32-bit handles, and a release/allocate
+//     cycle never touches the system heap after the first use of a slot.
+//     Destructors are not run on clear(); element types must be reusable by
+//     assignment (the calendar re-initialises every field on allocate).
+//   * `RegionArena` — one grow-never byte region that typed arrays are
+//     carved out of front to back.  The device core's hot state
+//     (core/device_soa.hpp) lives in one region per trial, so every flat
+//     array is contiguous, the whole hot state snapshots/restores as a
+//     single memcpy, and a trial performs exactly one allocation for it.
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <utility>
 #include <vector>
 
 namespace firefly::util {
+
+/// A single contiguous byte region carved into typed arrays.  `reset`
+/// allocates (and zero-fills) the block once; `carve<T>(count)` hands out
+/// aligned sub-arrays front to back.  Only trivially copyable element types
+/// are allowed: the region's bytes ARE the state, so a snapshot is
+/// `memcpy(dst, data(), used())` and a restore is the reverse.
+class RegionArena {
+ public:
+  /// Discard any previous block and allocate a fresh zero-filled region of
+  /// `bytes` capacity.  Pointers carved before reset are invalidated.
+  void reset(std::size_t bytes) {
+    block_ = std::make_unique<std::byte[]>(bytes);
+    std::memset(block_.get(), 0, bytes);
+    size_ = bytes;
+    used_ = 0;
+  }
+
+  /// Carve the next `count` elements of T, aligned to alignof(T).  The
+  /// returned array is zero-initialised (reset zero-fills the block).
+  template <typename T>
+  [[nodiscard]] T* carve(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "RegionArena state must memcpy-snapshot");
+    const std::size_t align = alignof(T);
+    used_ = (used_ + align - 1) & ~(align - 1);
+    assert(used_ + sizeof(T) * count <= size_ && "RegionArena over-carved");
+    T* out = reinterpret_cast<T*>(block_.get() + used_);
+    used_ += sizeof(T) * count;
+    return out;
+  }
+
+  [[nodiscard]] std::byte* data() { return block_.get(); }
+  [[nodiscard]] const std::byte* data() const { return block_.get(); }
+  /// Bytes actually carved — the span a snapshot must copy.
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t capacity() const { return size_; }
+
+ private:
+  std::unique_ptr<std::byte[]> block_;
+  std::size_t size_ = 0;
+  std::size_t used_ = 0;
+};
 
 template <typename T>
 class SlabArena {

@@ -27,13 +27,15 @@ TEST(DutyCycleRadio, SleepingReceiverHearsNothing) {
   auto channel = phy::make_paper_channel(1);
   mac::RadioMedium radio(&sim, channel.get());
   int awake_heard = 0, asleep_heard = 0;
-  radio.add_device(0, {0.0, 0.0}, [](const mac::Reception&) {});
-  radio.add_device(1, {10.0, 0.0},
-                   [&](const mac::Reception&) { ++awake_heard; },
-                   [] { return true; });
-  radio.add_device(2, {10.0, 1.0},
-                   [&](const mac::Reception&) { ++asleep_heard; },
-                   [] { return false; });
+  radio.add_device(0, {0.0, 0.0});
+  radio.add_device(1, {10.0, 0.0}, [] { return true; });
+  radio.add_device(2, {10.0, 1.0}, [] { return false; });
+  radio.set_delivery_sink([&](const mac::RxBatch& batch) {
+    for (std::size_t k = 0; k < batch.count; ++k) {
+      if (batch.records[k].rx_index == 1) ++awake_heard;
+      if (batch.records[k].rx_index == 2) ++asleep_heard;
+    }
+  });
   sim.schedule_at(sim::SimTime::zero(), [&] {
     radio.broadcast(0, {mac::RachCodec::kRach1, 0}, mac::PsType::kSyncPulse, 0);
   });

@@ -153,9 +153,15 @@ TEST(RadioFaults, DownDeviceNeitherSendsNorReceives) {
   mac::RadioMedium radio(&sim, channel.get());
   int heard_by_1 = 0;
   int heard_by_2 = 0;
-  radio.add_device(0, {0.0, 0.0}, [](const mac::Reception&) {});
-  radio.add_device(1, {10.0, 0.0}, [&](const mac::Reception&) { ++heard_by_1; });
-  radio.add_device(2, {10.0, 1.0}, [&](const mac::Reception&) { ++heard_by_2; });
+  radio.add_device(0, {0.0, 0.0});
+  radio.add_device(1, {10.0, 0.0});
+  radio.add_device(2, {10.0, 1.0});
+  radio.set_delivery_sink([&](const mac::RxBatch& batch) {
+    for (std::size_t k = 0; k < batch.count; ++k) {
+      if (batch.records[k].rx_index == 1) ++heard_by_1;
+      if (batch.records[k].rx_index == 2) ++heard_by_2;
+    }
+  });
   radio.set_down(2, true);
   EXPECT_TRUE(radio.is_down(2));
   sim.schedule_at(sim::SimTime::zero(), [&] {
@@ -173,8 +179,13 @@ TEST(RadioFaults, HookVetoIsCountedAndAttenuationFlowsThrough) {
   auto channel = phy::make_paper_channel(1);
   mac::RadioMedium radio(&sim, channel.get());
   int heard = 0;
-  radio.add_device(0, {0.0, 0.0}, [](const mac::Reception&) {});
-  radio.add_device(1, {10.0, 0.0}, [&](const mac::Reception&) { ++heard; });
+  radio.add_device(0, {0.0, 0.0});
+  radio.add_device(1, {10.0, 0.0});
+  radio.set_delivery_sink([&](const mac::RxBatch& batch) {
+    for (std::size_t k = 0; k < batch.count; ++k) {
+      if (batch.records[k].rx_index == 1) ++heard;
+    }
+  });
   bool veto = true;
   radio.set_fault_hook([&](std::uint32_t, std::uint32_t, mac::PsType, util::Dbm power)
                            -> std::optional<util::Dbm> {
@@ -211,6 +222,9 @@ class SteppableSt : public proto::StEngine {
 TEST(EngineFaults, CrashParksAndRecoverColdBoots) {
   const std::vector<geo::Vec2> positions{{0.0, 0.0}, {15.0, 0.0}, {0.0, 15.0}};
   core::ProtocolParams params;
+  // This test reads Device struct fields between steps; the reference
+  // struct core keeps them live (the SoA core syncs only on devices()).
+  params.device_core = core::DeviceCore::kStruct;
   params.max_periods = 100;
   params.stop_on_convergence = false;
   SteppableSt engine(positions, params, phy::RadioParams{}, 21);

@@ -156,12 +156,15 @@ TEST(NoiseFloor, NoiseBreaksMarginalCapture) {
     mac::RadioMedium radio(&sim, channel.get(), 3.0);
     int heard = 0;
     // PL(d)=83 dB -> d=10^(43/40)≈11.885 m: rx = 23−83 = −60 dBm.
-    radio.add_device(0, {10.0 + 11.885, 0.0}, [](const mac::Reception&) {});
+    radio.add_device(0, {10.0 + 11.885, 0.0});
     // PL(d)=87 dB -> d≈14.962 m on the other side: rx = −64 dBm.
-    radio.add_device(1, {10.0 - 14.962, 0.0}, [](const mac::Reception&) {});
-    radio.add_device(2, {10.0, 0.0}, [&](const mac::Reception& r) {
-      if (r.sender == 0) ++heard;
+    radio.add_device(1, {10.0 - 14.962, 0.0});
+    radio.set_delivery_sink([&](const mac::RxBatch& batch) {
+      for (std::size_t k = 0; k < batch.count; ++k) {
+        if (batch.records[k].rx_index == 2 && batch.records[k].sender == 0) ++heard;
+      }
     });
+    radio.add_device(2, {10.0, 0.0});
     sim.schedule_at(sim::SimTime::zero(), [&] {
       radio.broadcast(0, {mac::RachCodec::kRach1, 9}, mac::PsType::kSyncPulse, 0);
       radio.broadcast(1, {mac::RachCodec::kRach1, 9}, mac::PsType::kSyncPulse, 0);

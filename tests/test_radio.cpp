@@ -17,13 +17,15 @@ using namespace firefly;
 using mac::PsType;
 using mac::RachCodec;
 using mac::RadioMedium;
-using mac::Reception;
+using mac::RxRecord;
 
 struct World {
   sim::Simulator sim;
   std::unique_ptr<phy::Channel> channel;
   std::unique_ptr<RadioMedium> radio;
-  std::vector<std::vector<Reception>> inbox;
+  // Per-receiver inboxes, filled by the radio's batched delivery sink.  All
+  // tests here add devices in id order, so rx_index == id.
+  std::vector<std::vector<RxRecord>> inbox;
 
   explicit World(double capture_margin_db = 3.0, phy::RadioParams params = {}) {
     channel = std::make_unique<phy::Channel>(
@@ -31,11 +33,17 @@ struct World {
         std::make_unique<phy::NoShadowing>(), std::make_unique<phy::NoFading>(),
         util::Rng(1));
     radio = std::make_unique<RadioMedium>(&sim, channel.get(), capture_margin_db);
+    radio->set_delivery_sink([this](const mac::RxBatch& batch) {
+      for (std::size_t k = 0; k < batch.count; ++k) {
+        const RxRecord& r = batch.records[k];
+        inbox[r.rx_index].push_back(r);
+      }
+    });
   }
 
   void add(std::uint32_t id, geo::Vec2 pos) {
     if (inbox.size() <= id) inbox.resize(id + 1);
-    radio->add_device(id, pos, [this, id](const Reception& r) { inbox[id].push_back(r); });
+    radio->add_device(id, pos);
   }
 };
 

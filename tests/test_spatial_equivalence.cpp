@@ -124,7 +124,7 @@ TEST(SpatialEquivalence, MemoisedCandidateMeansMatchDirectChannelQueries) {
   sim::Simulator sim;
   mac::RadioMedium radio(&sim, channel.get(), channel->params().capture_margin_db);
   for (std::uint32_t id = 0; id < positions.size(); ++id) {
-    radio.add_device(id, positions[id], [](const mac::Reception&) {});
+    radio.add_device(id, positions[id]);
   }
   radio.rebuild();
 

@@ -20,43 +20,56 @@ class SteppableSt : public proto::StEngine {
   using proto::StEngine::StEngine;
   using proto::StEngine::collect_metrics;
   using proto::StEngine::crash_device;
-  using proto::StEngine::on_reception;
   using proto::StEngine::start_run;
   sim::Simulator& sim() { return sim_; }
   mac::RadioMedium& radio() { return radio_; }
   core::Device& device(std::uint32_t id) { return devices_[id]; }
   std::int64_t slot() const { return current_slot(); }
+  /// Inject one synthetic decoded PS as a batch of one.
+  void inject(const mac::RxRecord& record) {
+    deliver_batched(mac::RxBatch{&record, 1});
+  }
 };
 
-mac::Reception make_announce(std::uint32_t sender, std::uint16_t winner,
-                             std::uint16_t loser, std::uint16_t size) {
-  return mac::Reception{sender,
-                        mac::Preamble{mac::RachCodec::kRach2, 3},
-                        mac::PsType::kMergeAnnounce,
-                        core::pack(core::Fields{winner, loser, 10, size}),
-                        util::Dbm{-60.0},
-                        sim::SimTime::zero()};
+/// Direct-injection tests read `Device` struct fields between steps, so they
+/// pin the reference struct core (the SoA core keeps hot fields in flat
+/// arrays until devices() syncs them back).
+core::ProtocolParams struct_core_params() {
+  core::ProtocolParams params;
+  params.device_core = core::DeviceCore::kStruct;
+  return params;
+}
+
+mac::RxRecord make_announce(std::uint32_t sender, std::uint32_t rx_index,
+                            std::uint16_t winner, std::uint16_t loser,
+                            std::uint16_t size) {
+  return mac::RxRecord{sender,
+                       rx_index,
+                       mac::Preamble{mac::RachCodec::kRach2, 3},
+                       mac::PsType::kMergeAnnounce,
+                       core::pack(core::Fields{winner, loser, 10, size}),
+                       util::Dbm{-60.0},
+                       sim::SimTime::zero()};
 }
 
 TEST(StFaults, AnnounceDedupByWinnerLoserPair) {
   const std::vector<geo::Vec2> positions{{0.0, 0.0}, {15.0, 0.0}};
-  core::ProtocolParams params;
-  SteppableSt engine(positions, params, phy::RadioParams{}, 3);
+  SteppableSt engine(positions, struct_core_params(), phy::RadioParams{}, 3);
 
   // Device 0 starts as fragment 0; an announce (winner=7, loser=0) makes it
   // adopt the winner and relay exactly once.
   const std::uint64_t rach2_before = engine.radio().counters().rach2_tx;
-  engine.on_reception(engine.device(0), make_announce(1, 7, 0, 2));
+  engine.inject(make_announce(1, 0, 7, 0, 2));
   EXPECT_EQ(engine.device(0).fragment, 7U);
   EXPECT_FALSE(engine.device(0).is_head);
   EXPECT_EQ(engine.radio().counters().rach2_tx, rach2_before + 1) << "one relay";
 
   // The identical (winner, loser) announce again: deduplicated, no relay.
-  engine.on_reception(engine.device(0), make_announce(1, 7, 0, 3));
+  engine.inject(make_announce(1, 0, 7, 0, 3));
   EXPECT_EQ(engine.radio().counters().rach2_tx, rach2_before + 1);
 
   // A *different* merge involving the new fragment still propagates.
-  engine.on_reception(engine.device(0), make_announce(1, 9, 7, 4));
+  engine.inject(make_announce(1, 0, 9, 7, 4));
   EXPECT_EQ(engine.device(0).fragment, 9U);
   EXPECT_EQ(engine.radio().counters().rach2_tx, rach2_before + 2);
 }
@@ -69,7 +82,7 @@ TEST(StFaults, ConnectRetriesAreCappedAndHeadshipMovesOn) {
   // into the same cap, and so on — observable as head-token traffic after
   // the veto instant.
   const std::vector<geo::Vec2> positions{{0.0, 0.0}, {12.0, 0.0}, {30.0, 0.0}};
-  core::ProtocolParams params;
+  core::ProtocolParams params = struct_core_params();
   params.max_periods = 100;
   params.stop_on_convergence = false;
   SteppableSt engine(positions, params, phy::RadioParams{}, 17);
@@ -112,7 +125,7 @@ TEST(StFaults, HeadCrashTriggersLeaseReclaimAndReMerge) {
   // head — re-converging to one fragment spanning the survivors.
   const std::vector<geo::Vec2> positions{
       {0.0, 0.0}, {14.0, 0.0}, {0.0, 14.0}, {14.0, 14.0}};
-  core::ProtocolParams params;
+  core::ProtocolParams params = struct_core_params();
   params.max_periods = 250;
   params.stop_on_convergence = false;
   SteppableSt engine(positions, params, phy::RadioParams{}, 29);

@@ -26,11 +26,15 @@
 //   * with --require-series, at least one line has "protocol" and "n"
 //     (a sweep-series record, as fig3/fig4 emit).
 //
-// With --baseline, the file's "speedup" records are additionally compared
-// against a committed baseline (e.g. BENCH_PR5.json): for each matching n,
-// the wheel_ms/heap_ms ratio must not exceed the baseline's ratio by more
-// than --max-regress percent (default 25).  Comparing the *ratio* rather
-// than absolute wall-clock makes the gate machine-speed independent.
+// With --baseline, the file's "speedup" and "callback_sweep" records are
+// additionally compared against a committed baseline (e.g. BENCH_PR9.json):
+// for each matching (protocol, n), the wheel_ms/heap_ms ratio (speedup
+// records) and the soa_ms/struct_ms ratio (callback_sweep records — the
+// batched SoA device core against the in-run struct-core reference) must not
+// exceed the baseline's ratio by more than --max-regress percent (default
+// 25).  Comparing *ratios* rather than absolute wall-clock makes the gate
+// machine-speed independent; baselines predating a record kind simply have
+// nothing of that kind to compare.
 // Exit 0 on success, 1 on any violation (first violation is reported).
 #include <algorithm>
 #include <cctype>
@@ -271,11 +275,13 @@ int fail(const std::string& path, std::size_t line_no, const std::string& why) {
 using SpeedupKey = std::pair<std::string, long>;
 
 /// Validate `path` line by line; on success also return the wheel_ms/heap_ms
-/// ratio of every "speedup" record, keyed by (protocol, n).  Returns false
-/// after printing the first violation.
+/// ratio of every "speedup" record and the soa_ms/struct_ms ratio of every
+/// "callback_sweep" record, keyed by (protocol, n).  Returns false after
+/// printing the first violation.
 bool validate_file(const std::string& path, bool require_series,
-                   std::map<SpeedupKey, double>* wheel_heap_ratio, std::size_t* records_out,
-                   std::size_t* series_out) {
+                   std::map<SpeedupKey, double>* wheel_heap_ratio,
+                   std::map<SpeedupKey, double>* soa_struct_ratio,
+                   std::size_t* records_out, std::size_t* series_out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::cerr << "cannot open " << path << "\n";
@@ -345,6 +351,21 @@ bool validate_file(const std::string& path, bool require_series,
       std::string id = parser.string_value("protocol");
       if (id.empty()) id = "ST";  // pre-axis baselines are ST-only
       (*wheel_heap_ratio)[SpeedupKey{std::move(id), static_cast<long>(n)}] = wheel / heap;
+    }
+    if (soa_struct_ratio != nullptr && parser.string_value("series") == "callback_sweep") {
+      double n = 0.0, soa = 0.0, strct = 0.0;
+      if (!parser.number_value("n", &n) || !parser.number_value("soa_ms", &soa) ||
+          !parser.number_value("struct_ms", &strct)) {
+        fail(path, line_no, "callback_sweep record missing numeric n/soa_ms/struct_ms");
+        return false;
+      }
+      if (strct <= 0.0) {
+        fail(path, line_no, "callback_sweep record has struct_ms <= 0");
+        return false;
+      }
+      std::string id = parser.string_value("protocol");
+      if (id.empty()) { fail(path, line_no, "callback_sweep record missing protocol"); return false; }
+      (*soa_struct_ratio)[SpeedupKey{std::move(id), static_cast<long>(n)}] = soa / strct;
     }
   }
   if (line_no == 0) { fail(path, 1, "file is empty"); return false; }
@@ -472,32 +493,45 @@ int main(int argc, char** argv) {
   }
 
   std::map<SpeedupKey, double> ratios;
+  std::map<SpeedupKey, double> sweep_ratios;
   std::size_t records = 0, series = 0;
-  if (!validate_file(path, require_series, &ratios, &records, &series)) return 1;
+  if (!validate_file(path, require_series, &ratios, &sweep_ratios, &records, &series))
+    return 1;
 
   if (!baseline_path.empty()) {
     std::map<SpeedupKey, double> base_ratios;
-    if (!validate_file(baseline_path, false, &base_ratios, nullptr, nullptr)) return 1;
+    std::map<SpeedupKey, double> base_sweep_ratios;
+    if (!validate_file(baseline_path, false, &base_ratios, &base_sweep_ratios, nullptr,
+                       nullptr))
+      return 1;
     std::size_t compared = 0;
-    for (const auto& [key, base] : base_ratios) {
-      const auto it = ratios.find(key);
-      if (it == ratios.end()) continue;  // trimmed CI runs cover a prefix of n
-      ++compared;
-      const double allowed = base * (1.0 + max_regress_pct / 100.0);
-      if (it->second > allowed) {
-        std::cerr << path << ": wheel/heap ratio regressed for " << key.first
-                  << " at n=" << key.second << ": " << it->second << " > " << base
-                  << " +" << max_regress_pct << "% (allowed " << allowed
-                  << ", baseline " << baseline_path << ")\n";
-        return 1;
+    const auto compare_kind = [&](const std::map<SpeedupKey, double>& base_map,
+                                  const std::map<SpeedupKey, double>& current,
+                                  const char* what) {
+      for (const auto& [key, base] : base_map) {
+        const auto it = current.find(key);
+        if (it == current.end()) continue;  // trimmed CI runs cover a prefix of n
+        ++compared;
+        const double allowed = base * (1.0 + max_regress_pct / 100.0);
+        if (it->second > allowed) {
+          std::cerr << path << ": " << what << " ratio regressed for " << key.first
+                    << " at n=" << key.second << ": " << it->second << " > " << base
+                    << " +" << max_regress_pct << "% (allowed " << allowed
+                    << ", baseline " << baseline_path << ")\n";
+          return false;
+        }
       }
-    }
+      return true;
+    };
+    if (!compare_kind(base_ratios, ratios, "wheel/heap")) return 1;
+    if (!compare_kind(base_sweep_ratios, sweep_ratios, "soa/struct")) return 1;
     if (compared == 0) {
-      std::cerr << path << ": no speedup records overlap baseline " << baseline_path << "\n";
+      std::cerr << path << ": no speedup/callback_sweep records overlap baseline "
+                << baseline_path << "\n";
       return 1;
     }
-    std::cout << path << ": wheel/heap ratio within " << max_regress_pct << "% of "
-              << baseline_path << " (" << compared << " sizes)\n";
+    std::cout << path << ": wheel/heap and soa/struct ratios within " << max_regress_pct
+              << "% of " << baseline_path << " (" << compared << " comparisons)\n";
   }
 
   std::cout << path << ": OK (" << records << " records, " << series << " series)\n";
